@@ -1,0 +1,182 @@
+//! AutoAdmin (Chaudhuri & Narasayya, VLDB 1997): per-query candidate
+//! selection followed by greedy enumeration with an exhaustively chosen
+//! seed.
+//!
+//! * For every query, the candidates that improve *that query* are kept
+//!   (what-if, one call per pair).
+//! * The best seed of up to `seed_size` indexes is found by exhaustive
+//!   search over small subsets.
+//! * The configuration is then grown greedily by whole-workload benefit
+//!   until the budget is exhausted.
+
+use crate::common::{def_key, syntactic_candidates, CostEvaluator, DefKey};
+use aim_core::{IndexAdvisor, WeightedQuery};
+use aim_storage::{Database, IndexDef};
+use std::collections::BTreeSet;
+
+/// AutoAdmin advisor.
+#[derive(Debug, Clone)]
+pub struct AutoAdmin {
+    pub max_width: usize,
+    /// Exhaustive seed size (the paper's `m`); kept tiny because the seed
+    /// search is combinatorial.
+    pub seed_size: usize,
+    /// Cap on the per-query candidate pool carried into enumeration.
+    pub max_candidates: usize,
+    pub last_whatif_calls: u64,
+}
+
+impl AutoAdmin {
+    pub fn new(max_width: usize) -> Self {
+        Self {
+            max_width,
+            seed_size: 2,
+            max_candidates: 48,
+            last_whatif_calls: 0,
+        }
+    }
+}
+
+impl Default for AutoAdmin {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl IndexAdvisor for AutoAdmin {
+    fn name(&self) -> &str {
+        "AutoAdmin"
+    }
+
+    fn recommend(
+        &mut self,
+        db: &Database,
+        workload: &[WeightedQuery],
+        budget_bytes: u64,
+    ) -> Vec<IndexDef> {
+        let eval = CostEvaluator::new(db, workload);
+        let pool = syntactic_candidates(db, workload, self.max_width);
+
+        // Per-query candidate selection: keep the best few per query.
+        let mut kept: Vec<IndexDef> = Vec::new();
+        let mut kept_keys: BTreeSet<DefKey> = BTreeSet::new();
+        for qi in 0..workload.len() {
+            let base = eval.query_cost(qi, &[]);
+            let mut scored: Vec<(f64, &IndexDef)> = Vec::new();
+            for cand in &pool {
+                let with = eval.query_cost(qi, std::slice::from_ref(cand));
+                if with < base * 0.999 {
+                    scored.push((base - with, cand));
+                }
+            }
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+            for (_, cand) in scored.into_iter().take(8) {
+                if kept_keys.insert(def_key(cand)) {
+                    kept.push(cand.clone());
+                }
+            }
+        }
+        kept.truncate(self.max_candidates);
+
+        // Exhaustive seed over subsets of size <= seed_size.
+        let mut best_seed: Vec<usize> = Vec::new();
+        let mut best_cost = eval.workload_cost(&[]);
+        let n = kept.len();
+        if self.seed_size >= 1 {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let cfg = vec![kept[i].clone()];
+                if eval.config_size(&cfg) > budget_bytes {
+                    continue;
+                }
+                let c = eval.workload_cost(&cfg);
+                if c < best_cost {
+                    best_cost = c;
+                    best_seed = vec![i];
+                }
+            }
+        }
+        if self.seed_size >= 2 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let cfg = vec![kept[i].clone(), kept[j].clone()];
+                    if eval.config_size(&cfg) > budget_bytes {
+                        continue;
+                    }
+                    let c = eval.workload_cost(&cfg);
+                    if c < best_cost {
+                        best_cost = c;
+                        best_seed = vec![i, j];
+                    }
+                }
+            }
+        }
+
+        // Greedy growth from the seed.
+        let mut chosen: Vec<IndexDef> = best_seed.iter().map(|&i| kept[i].clone()).collect();
+        let mut current_cost = best_cost;
+        loop {
+            let used = eval.config_size(&chosen);
+            let remaining = budget_bytes.saturating_sub(used);
+            let mut best: Option<(f64, usize, f64)> = None;
+            for (i, cand) in kept.iter().enumerate() {
+                if chosen.iter().any(|d| def_key(d) == def_key(cand)) {
+                    continue;
+                }
+                if eval.index_size(cand) > remaining {
+                    continue;
+                }
+                let mut trial = chosen.clone();
+                trial.push(cand.clone());
+                let cost = eval.workload_cost(&trial);
+                if current_cost - cost > 1e-9 {
+                    let gain = current_cost - cost;
+                    if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                        best = Some((gain, i, cost));
+                    }
+                }
+            }
+            match best {
+                Some((_, i, cost)) => {
+                    chosen.push(kept[i].clone());
+                    current_cost = cost;
+                }
+                None => break,
+            }
+        }
+
+        self.last_whatif_calls = eval.whatif_calls();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{test_db, wq};
+    use aim_core::{defs_to_config, workload_cost};
+    use aim_exec::{CostModel, HypoConfig};
+
+    #[test]
+    fn autoadmin_improves_workload_within_budget() {
+        let db = test_db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 5", 100.0),
+            wq("SELECT id FROM t WHERE b = 2 AND c = 10", 50.0),
+        ];
+        let mut advisor = AutoAdmin::default();
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        assert!(!defs.is_empty());
+        assert!(advisor.last_whatif_calls > 0);
+        let cm = CostModel::default();
+        let base = workload_cost(&db, &workload, &HypoConfig::only(Vec::new()), &cm);
+        let with = workload_cost(&db, &workload, &defs_to_config(&db, &defs), &cm);
+        assert!(with < base);
+
+        let eval = CostEvaluator::new(&db, &workload);
+        let size = eval.config_size(&defs);
+        let mut advisor2 = AutoAdmin::default();
+        let constrained = advisor2.recommend(&db, &workload, size / 2);
+        assert!(eval.config_size(&constrained) <= size / 2);
+    }
+}

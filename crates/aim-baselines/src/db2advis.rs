@@ -1,0 +1,154 @@
+//! DB2Advis (Valentin et al., ICDE 2000): benefit-per-space ranking with a
+//! single what-if evaluation per (query, candidate) pair, followed by a
+//! greedy fill of the budget — the fastest of the classical advisors, at
+//! the price of ignoring index interactions.
+
+use crate::common::{def_key, syntactic_candidates, CostEvaluator};
+use aim_core::{IndexAdvisor, WeightedQuery};
+use aim_storage::{Database, IndexDef};
+use std::collections::BTreeMap;
+
+/// DB2Advis-style advisor.
+#[derive(Debug, Clone)]
+pub struct Db2Advis {
+    pub max_width: usize,
+    pub last_whatif_calls: u64,
+}
+
+impl Db2Advis {
+    pub fn new(max_width: usize) -> Self {
+        Self {
+            max_width,
+            last_whatif_calls: 0,
+        }
+    }
+}
+
+impl Default for Db2Advis {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl IndexAdvisor for Db2Advis {
+    fn name(&self) -> &str {
+        "DB2Advis"
+    }
+
+    fn recommend(
+        &mut self,
+        db: &Database,
+        workload: &[WeightedQuery],
+        budget_bytes: u64,
+    ) -> Vec<IndexDef> {
+        let eval = CostEvaluator::new(db, workload);
+        let pool = syntactic_candidates(db, workload, self.max_width);
+
+        // Stand-alone benefit of each candidate, summed over queries.
+        let mut benefit: BTreeMap<usize, f64> = BTreeMap::new();
+        for qi in 0..workload.len() {
+            let base = eval.query_cost(qi, &[]);
+            for (ci, cand) in pool.iter().enumerate() {
+                let with = eval.query_cost(qi, std::slice::from_ref(cand));
+                if with < base {
+                    *benefit.entry(ci).or_default() += base - with;
+                }
+            }
+        }
+
+        // Sort by benefit per byte; fill the budget.
+        let mut scored: Vec<(f64, usize)> = benefit
+            .into_iter()
+            .map(|(ci, b)| (b / eval.index_size(&pool[ci]).max(1) as f64, ci))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        let mut chosen: Vec<IndexDef> = Vec::new();
+        let mut remaining = budget_bytes;
+        for (_, ci) in scored {
+            let cand = &pool[ci];
+            // Skip candidates whose exact column list is already chosen or
+            // is a prefix of a chosen wider index on the same table.
+            let redundant = chosen.iter().any(|d| {
+                d.table == cand.table
+                    && (def_key(d) == def_key(cand)
+                        || d.columns.starts_with(&cand.columns[..]))
+            });
+            if redundant {
+                continue;
+            }
+            let size = eval.index_size(cand);
+            if size <= remaining {
+                // The new index absorbs any chosen strict prefix of itself.
+                chosen.retain(|d| {
+                    let absorbed = d.table == cand.table
+                        && cand.columns.len() > d.columns.len()
+                        && cand.columns.starts_with(&d.columns[..]);
+                    if absorbed {
+                        remaining += eval.index_size(d);
+                    }
+                    !absorbed
+                });
+                remaining -= size;
+                chosen.push(cand.clone());
+            }
+        }
+
+        self.last_whatif_calls = eval.whatif_calls();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{test_db, wq};
+    use aim_core::{defs_to_config, workload_cost};
+    use aim_exec::{CostModel, HypoConfig};
+
+    #[test]
+    fn db2advis_improves_workload() {
+        let db = test_db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 5", 100.0),
+            wq("SELECT id FROM t WHERE b = 2 AND c = 10", 50.0),
+        ];
+        let mut advisor = Db2Advis::default();
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        assert!(!defs.is_empty());
+        let cm = CostModel::default();
+        let base = workload_cost(&db, &workload, &HypoConfig::only(Vec::new()), &cm);
+        let with = workload_cost(&db, &workload, &defs_to_config(&db, &defs), &cm);
+        assert!(with < base);
+    }
+
+    #[test]
+    fn prefix_redundant_candidates_skipped() {
+        let db = test_db();
+        let workload = vec![wq("SELECT id FROM t WHERE a = 1 AND b = 2", 100.0)];
+        let mut advisor = Db2Advis::default();
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        // No chosen index may be a strict prefix of another chosen one.
+        for d in &defs {
+            assert!(!defs.iter().any(|other| other.name != d.name
+                && other.table == d.table
+                && other.columns.starts_with(&d.columns[..])));
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let db = test_db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 5", 100.0),
+            wq("SELECT id FROM t WHERE c = 7", 100.0),
+        ];
+        let eval = CostEvaluator::new(&db, &workload);
+        let mut advisor = Db2Advis::default();
+        let all = advisor.recommend(&db, &workload, u64::MAX);
+        let size = eval.config_size(&all);
+        let mut advisor2 = Db2Advis::default();
+        let constrained = advisor2.recommend(&db, &workload, size / 2);
+        assert!(eval.config_size(&constrained) <= size / 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Drop (Whang, 1987): start from the full candidate configuration and
+//! repeatedly remove the index whose removal hurts the workload least,
+//! until the configuration fits the budget and no removal is ~free.
+
+use crate::common::{syntactic_candidates, CostEvaluator};
+use aim_core::{IndexAdvisor, WeightedQuery};
+use aim_storage::{Database, IndexDef};
+
+/// Drop-heuristic advisor.
+#[derive(Debug, Clone)]
+pub struct DropHeuristic {
+    pub max_width: usize,
+    /// Relative cost growth below which a removal is considered free.
+    pub epsilon: f64,
+    pub last_whatif_calls: u64,
+}
+
+impl DropHeuristic {
+    pub fn new(max_width: usize) -> Self {
+        Self {
+            max_width,
+            epsilon: 1e-4,
+            last_whatif_calls: 0,
+        }
+    }
+}
+
+impl Default for DropHeuristic {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl IndexAdvisor for DropHeuristic {
+    fn name(&self) -> &str {
+        "Drop"
+    }
+
+    fn recommend(
+        &mut self,
+        db: &Database,
+        workload: &[WeightedQuery],
+        budget_bytes: u64,
+    ) -> Vec<IndexDef> {
+        let eval = CostEvaluator::new(db, workload);
+        let mut config = syntactic_candidates(db, workload, self.max_width);
+        let mut current_cost = eval.workload_cost(&config);
+
+        loop {
+            let over_budget = eval.config_size(&config) > budget_bytes;
+            if config.is_empty() {
+                break;
+            }
+            // Find the cheapest removal.
+            let mut best: Option<(f64, usize, f64)> = None; // (delta, idx, new cost)
+            for i in 0..config.len() {
+                let mut trial = config.clone();
+                trial.remove(i);
+                let cost = eval.workload_cost(&trial);
+                let delta = cost - current_cost;
+                if best.as_ref().is_none_or(|(d, _, _)| delta < *d) {
+                    best = Some((delta, i, cost));
+                }
+            }
+            let Some((delta, i, cost)) = best else { break };
+            let free = delta <= self.epsilon * current_cost.max(1.0);
+            if over_budget || free {
+                config.remove(i);
+                current_cost = cost;
+            } else {
+                break;
+            }
+        }
+
+        self.last_whatif_calls = eval.whatif_calls();
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{test_db, wq};
+    use aim_core::{defs_to_config, workload_cost};
+    use aim_exec::{CostModel, HypoConfig};
+
+    #[test]
+    fn drop_keeps_useful_indexes_only() {
+        let db = test_db();
+        let workload = vec![wq("SELECT id FROM t WHERE a = 5", 100.0)];
+        let mut advisor = DropHeuristic::default();
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        assert!(!defs.is_empty());
+        // Everything kept must involve column a.
+        assert!(defs.iter().all(|d| d.columns.contains(&"a".to_string())));
+        let cm = CostModel::default();
+        let base = workload_cost(&db, &workload, &HypoConfig::only(Vec::new()), &cm);
+        let with = workload_cost(&db, &workload, &defs_to_config(&db, &defs), &cm);
+        assert!(with < base);
+    }
+
+    #[test]
+    fn drop_fits_budget() {
+        let db = test_db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 5", 100.0),
+            wq("SELECT id FROM t WHERE b = 2 AND c = 10", 50.0),
+        ];
+        let eval = CostEvaluator::new(&db, &workload);
+        let mut advisor = DropHeuristic::default();
+        let all = advisor.recommend(&db, &workload, u64::MAX);
+        let size = eval.config_size(&all);
+        let mut advisor2 = DropHeuristic::default();
+        let constrained = advisor2.recommend(&db, &workload, size / 2);
+        assert!(eval.config_size(&constrained) <= size / 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks for the storage engine and executor: the
+//! substrate costs underneath every experiment.
+
+use aim_exec::Engine;
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IndexDef, IoStats, TableSchema, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fixture(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("b", ColumnType::Int),
+                ColumnDef::new("s", ColumnType::Str),
+            ],
+            &["id"],
+        )
+        .expect("valid"),
+    )
+    .expect("fresh");
+    let mut io = IoStats::new();
+    for i in 0..rows {
+        db.table_mut("t")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 100),
+                    Value::Int(i % 10),
+                    Value::Str(format!("row{i}")),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+        .expect("valid");
+    db.analyze_all();
+    db
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let db = fixture(20_000);
+    let engine = Engine::new();
+    let cases = [
+        ("pk_point_lookup", "SELECT a FROM t WHERE id = 9999"),
+        ("index_eq_scan", "SELECT id, a FROM t WHERE a = 42"),
+        ("full_scan_filter", "SELECT id FROM t WHERE b = 3"),
+        (
+            "group_by_aggregate",
+            "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b",
+        ),
+        (
+            "order_by_limit_via_index",
+            "SELECT a, id FROM t ORDER BY a LIMIT 10",
+        ),
+    ];
+    for (name, sql) in cases {
+        let stmt = parse_statement(sql).expect("valid");
+        let aim_sql::Statement::Select(select) = &stmt else {
+            panic!("read-only benches use SELECT")
+        };
+        // Read-only path: no per-iteration clone distorting the numbers.
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(engine.execute_select(&db, select).expect("executes")))
+        });
+    }
+}
+
+fn bench_planning_only(c: &mut Criterion) {
+    let db = fixture(20_000);
+    let cm = aim_exec::CostModel::default();
+    let cfg = aim_exec::HypoConfig::none();
+    let stmt = parse_statement(
+        "SELECT id FROM t WHERE a = 42 AND b > 3 ORDER BY a LIMIT 10",
+    )
+    .expect("valid");
+    let aim_sql::Statement::Select(select) = &stmt else {
+        panic!()
+    };
+    c.bench_function("plan_select_single_table", |b| {
+        b.iter(|| black_box(aim_exec::plan_select(&db, select, &cfg, &cm).expect("plans")))
+    });
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut db = fixture(5_000);
+    db.create_table(
+        TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("tid", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .expect("valid"),
+    )
+    .expect("fresh");
+    let mut io = IoStats::new();
+    for i in 0..500i64 {
+        db.table_mut("u")
+            .expect("exists")
+            .insert(vec![Value::Int(i), Value::Int(i * 7 % 5000)], &mut io)
+            .expect("unique");
+    }
+    db.analyze_all();
+    let engine = Engine::new();
+    let stmt = parse_statement(
+        "SELECT u.id, t.a FROM u, t WHERE u.tid = t.id AND u.id < 100",
+    )
+    .expect("valid");
+    let aim_sql::Statement::Select(select) = stmt else {
+        panic!("SELECT expected")
+    };
+    c.bench_function("two_table_index_join", |b| {
+        b.iter(|| black_box(engine.execute_select(&db, &select).expect("executes")))
+    });
+}
+
+fn bench_insert_with_indexes(c: &mut Criterion) {
+    let db = fixture(10_000);
+    let engine = Engine::new();
+    c.bench_function("insert_row_with_index_maintenance", |b| {
+        let mut n = 1_000_000i64;
+        let mut local = db.clone();
+        b.iter(|| {
+            n += 1;
+            let stmt = parse_statement(&format!(
+                "INSERT INTO t (id, a, b, s) VALUES ({n}, 1, 2, 'x')"
+            ))
+            .expect("valid");
+            black_box(engine.execute(&mut local, &stmt).expect("executes"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_planning_only,
+    bench_join,
+    bench_insert_with_indexes
+);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Interactive AIM shell.
+//!
+//! A small REPL over the engine: type SQL to execute it (DDL, DML,
+//! queries); every execution feeds the workload monitor; `\tune` runs an
+//! AIM pass and prints each recommendation's metrics-driven explanation.
+//!
+//! ```sh
+//! cargo run -p aim-bench --bin aim_cli --release
+//! aim> \demo
+//! aim> SELECT id FROM orders WHERE customer_id = 7;
+//! aim> \tune
+//! ```
+
+use aim_core::driver::{Aim, AimConfig};
+use aim_exec::{Engine, HypoConfig, Planner};
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{Database, Value};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let aim = Aim::new(AimConfig {
+        selection: SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+
+    println!("AIM shell — type SQL, or \\help for commands.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("aim> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            if !run_command(cmd, &mut db, &engine, &mut monitor, &aim) {
+                break;
+            }
+            continue;
+        }
+        run_sql(line.trim_end_matches(';'), &mut db, &engine, &mut monitor);
+    }
+}
+
+/// Handles a `\command`; returns false to exit.
+fn run_command(
+    cmd: &str,
+    db: &mut Database,
+    engine: &Engine,
+    monitor: &mut WorkloadMonitor,
+    aim: &Aim,
+) -> bool {
+    let (name, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+    match name {
+        "quit" | "q" | "exit" => return false,
+        "help" => {
+            println!("  <SQL>;           execute a statement (recorded by the monitor)");
+            println!("  \\explain <SQL>  show the plan without executing");
+            println!("  \\tune           run one AIM tuning pass on the observed workload");
+            println!("  \\workload       show per-query statistics of the current window");
+            println!("  \\indexes        list secondary indexes");
+            println!("  \\reset          start a new observation window");
+            println!("  \\demo           load a small demo database + workload");
+            println!("  \\quit           exit");
+        }
+        "explain" => match parse_statement(rest) {
+            Ok(aim_sql::Statement::Select(s)) => {
+                let cfg = HypoConfig::none();
+                match Planner::new(db, &s, &cfg, &engine.cost_model) {
+                    Ok(p) => match p.plan() {
+                        Ok(plan) => print!("{}", plan.explain(&p.binder)),
+                        Err(e) => println!("plan error: {e}"),
+                    },
+                    Err(e) => println!("bind error: {e}"),
+                }
+            }
+            Ok(_) => println!("\\explain supports SELECT statements"),
+            Err(e) => println!("parse error: {e}"),
+        },
+        "tune" => match aim.tune(db, monitor) {
+            Ok(outcome) => {
+                println!(
+                    "examined {} queries, {} candidates, {:?} elapsed",
+                    outcome.workload_size, outcome.candidates_generated, outcome.elapsed
+                );
+                for c in &outcome.created {
+                    println!("  CREATE {}", c.explanation);
+                }
+                for (name, why) in &outcome.rejected {
+                    println!("  reject {name}: {why}");
+                }
+                if outcome.created.is_empty() && outcome.rejected.is_empty() {
+                    println!("  nothing to do");
+                }
+            }
+            Err(e) => println!("tuning error: {e}"),
+        },
+        "workload" => {
+            for q in monitor.queries() {
+                println!(
+                    "  {:>6}x cpu_avg {:>9.1} ddr {:>4.2} B {:>9.1}  {}",
+                    q.executions,
+                    q.cpu_avg(),
+                    q.ddr_avg(),
+                    q.expected_benefit(),
+                    q.normalized_text
+                );
+            }
+            if monitor.is_empty() {
+                println!("  (no queries observed)");
+            }
+        }
+        "indexes" => {
+            for d in db.all_indexes() {
+                println!("  {} on {}({})", d.name, d.table, d.columns.join(", "));
+            }
+            println!(
+                "  total secondary index bytes: {}",
+                db.total_secondary_index_bytes()
+            );
+        }
+        "reset" => {
+            monitor.reset();
+            println!("  new observation window");
+        }
+        "demo" => {
+            load_demo(db, engine, monitor);
+            println!("  demo loaded: orders(20k rows); try:");
+            println!("    SELECT id FROM orders WHERE customer_id = 7;");
+            println!("    \\tune");
+        }
+        other => println!("unknown command \\{other} (try \\help)"),
+    }
+    true
+}
+
+fn run_sql(sql: &str, db: &mut Database, engine: &Engine, monitor: &mut WorkloadMonitor) {
+    let stmt = match parse_statement(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("parse error: {e}");
+            return;
+        }
+    };
+    match engine.execute(db, &stmt) {
+        Ok(outcome) => {
+            monitor.record(&stmt, &outcome);
+            for row in outcome.rows.iter().take(20) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {}", cells.join(" | "));
+            }
+            if outcome.rows.len() > 20 {
+                println!("  ... ({} rows total)", outcome.rows.len());
+            }
+            println!(
+                "  -- {} rows, {} read, cost {:.1}",
+                outcome.rows.len(),
+                outcome.io.rows_read,
+                outcome.cost
+            );
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn load_demo(db: &mut Database, engine: &Engine, monitor: &mut WorkloadMonitor) {
+    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema};
+    if db.table("orders").is_ok() {
+        return;
+    }
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer_id", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+                ColumnDef::new("amount", ColumnType::Float),
+            ],
+            &["id"],
+        )
+        .expect("valid schema"),
+    )
+    .expect("fresh table");
+    let mut io = IoStats::new();
+    for i in 0..20_000i64 {
+        db.table_mut("orders")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 400),
+                    Value::Int(i % 9),
+                    Value::Float((i % 130) as f64),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    db.analyze_all();
+    // Seed the monitor with a few executions so \tune has signal.
+    for v in [7, 13, 99] {
+        let stmt =
+            parse_statement(&format!("SELECT id FROM orders WHERE customer_id = {v}"))
+                .expect("valid");
+        for _ in 0..3 {
+            if let Ok(out) = engine.execute(db, &stmt) {
+                monitor.record(&stmt, &out);
+            }
+        }
+    }
+}

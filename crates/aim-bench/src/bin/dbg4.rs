@@ -1,0 +1,30 @@
+fn main() {
+    use aim_core::{workload_cost, defs_to_config};
+    use aim_exec::{CostModel, HypoConfig};
+    use aim_storage::IndexDef;
+    let cfg = aim_workloads::tpch::TpchConfig { scale: 0.0005, seed: 0xAA17 };
+    let db = aim_workloads::tpch::build_database(&cfg);
+    let w = aim_workloads::tpch::weighted_workload(17);
+    let cm = CostModel::default();
+    let base = workload_cost(&db, &w, &HypoConfig::only(vec![]), &cm);
+    println!("base {base:.0}");
+    for (t, c) in [("lineitem","l_partkey"),("lineitem","l_orderkey"),("lineitem","l_shipdate"),("orders","o_custkey"),("orders","o_orderdate"),("customer","c_mktsegment"),("partsupp","ps_suppkey")] {
+        let defs = vec![IndexDef::new("x", t, vec![c.to_string()])];
+        let cost = workload_cost(&db, &w, &defs_to_config(&db, &defs), &cm);
+        println!("{t}({c}) -> {:.4}", cost/base);
+    }
+    // AIM's own config for reference
+    use aim_core::{AimAdvisor, IndexAdvisor};
+    let mut aim = AimAdvisor::new(3, 4);
+    let defs = aim.recommend(&db, &w, u64::MAX);
+    for d in &defs { println!("AIM: {}({})", d.table, d.columns.join(",")); }
+    let cost = workload_cost(&db, &w, &defs_to_config(&db, &defs), &cm);
+    println!("AIM all -> {:.4}", cost/base);
+    // per-query with single lineitem l_partkey index
+    for (i, wq) in w.iter().enumerate() {
+        let defs = vec![IndexDef::new("x", "lineitem", vec!["l_partkey".into()])];
+        let c0 = aim_exec::estimate_statement_cost(&db, &wq.statement, &HypoConfig::only(vec![]), &cm).unwrap();
+        let c1 = aim_exec::estimate_statement_cost(&db, &wq.statement, &defs_to_config(&db, &defs), &cm).unwrap();
+        if (c1/c0) < 0.999 { println!("Q{} improved {:.3}", i+1, c1/c0); }
+    }
+}

@@ -1,0 +1,254 @@
+//! The common index-advisor interface shared by AIM and every baseline.
+//!
+//! This mirrors the evaluation harness of Kossmann et al. (the framework
+//! the paper benchmarks against in §VI-B): an advisor receives a database,
+//! a weighted analytical workload and a storage budget, and returns a set
+//! of index definitions. Solution quality is then measured as the
+//! optimizer-*estimated* workload cost under the returned configuration,
+//! relative to the unindexed cost.
+
+use crate::candidates::{generate_candidates, CandidateGenConfig, CoveringPolicy};
+use crate::ranking::{knapsack_select, rank_candidates};
+use aim_exec::{estimate_statement_cost, CostModel, HypoConfig, HypotheticalIndex};
+use aim_monitor::{QueryStats, WorkloadQuery};
+use aim_sql::ast::Statement;
+use aim_storage::{Database, IndexDef};
+
+/// One workload query with its weight `w_q` (frequency / importance).
+#[derive(Debug, Clone)]
+pub struct WeightedQuery {
+    pub statement: Statement,
+    pub weight: f64,
+}
+
+impl WeightedQuery {
+    pub fn new(statement: Statement, weight: f64) -> Self {
+        Self { statement, weight }
+    }
+}
+
+/// An index-selection algorithm under benchmark conditions.
+pub trait IndexAdvisor {
+    /// Short display name ("AIM", "Extend", "DTA", ...).
+    fn name(&self) -> &str;
+
+    /// Recommends a set of indexes for `workload` within `budget_bytes`.
+    fn recommend(
+        &mut self,
+        db: &Database,
+        workload: &[WeightedQuery],
+        budget_bytes: u64,
+    ) -> Vec<IndexDef>;
+}
+
+/// Builds the what-if configuration for a set of index definitions
+/// (dropping any that cannot be built on this database).
+pub fn defs_to_config(db: &Database, defs: &[IndexDef]) -> HypoConfig {
+    let indexes = defs
+        .iter()
+        .filter_map(|d| HypotheticalIndex::build(db, d.clone()))
+        .collect();
+    HypoConfig::only(indexes)
+}
+
+/// Total estimated workload cost `Σ w_q · cost(q, X)` under a what-if
+/// configuration — the y-axis of Figure 4a/4c.
+pub fn workload_cost(
+    db: &Database,
+    workload: &[WeightedQuery],
+    config: &HypoConfig,
+    cm: &CostModel,
+) -> f64 {
+    workload
+        .iter()
+        .map(|wq| {
+            wq.weight
+                * estimate_statement_cost(db, &wq.statement, config, cm).unwrap_or(f64::INFINITY)
+        })
+        .sum()
+}
+
+/// Estimated total size of a configuration in bytes.
+pub fn config_size(db: &Database, defs: &[IndexDef]) -> u64 {
+    defs.iter()
+        .filter_map(|d| HypotheticalIndex::build(db, d.clone()))
+        .map(|h| h.size_bytes)
+        .sum()
+}
+
+/// AIM operating as a pure advisor: structural candidate generation +
+/// merging + ranking + knapsack, no clone validation (the benchmark
+/// framework has no execution phase).
+#[derive(Debug, Clone)]
+pub struct AimAdvisor {
+    pub gen: CandidateGenConfig,
+    pub cost_model: CostModel,
+}
+
+impl AimAdvisor {
+    /// Advisor with the given join parameter and maximum index width.
+    pub fn new(join_parameter: usize, max_width: usize) -> Self {
+        Self {
+            gen: CandidateGenConfig {
+                join_parameter,
+                max_width,
+                covering: CoveringPolicy::Both,
+                ..Default::default()
+            },
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl Default for AimAdvisor {
+    fn default() -> Self {
+        Self::new(2, 0)
+    }
+}
+
+impl IndexAdvisor for AimAdvisor {
+    fn name(&self) -> &str {
+        "AIM"
+    }
+
+    fn recommend(
+        &mut self,
+        db: &Database,
+        workload: &[WeightedQuery],
+        budget_bytes: u64,
+    ) -> Vec<IndexDef> {
+        // Fabricate monitor statistics: weight × unindexed estimated cost
+        // stands in for observed CPU, which is what Eq. 7 scales by.
+        let empty = HypoConfig::only(Vec::new());
+        let synthetic: Vec<WorkloadQuery> = workload
+            .iter()
+            .map(|wq| {
+                let base =
+                    estimate_statement_cost(db, &wq.statement, &empty, &self.cost_model)
+                        .unwrap_or(0.0);
+                WorkloadQuery {
+                    stats: QueryStats::synthetic(
+                        &wq.statement,
+                        wq.weight.max(1.0) as u64,
+                        wq.weight * base,
+                    ),
+                    benefit: 0.0,
+                    weight: wq.weight,
+                }
+            })
+            .collect();
+        let candidates = generate_candidates(db, &synthetic, &self.gen);
+        let ranked = rank_candidates(db, &synthetic, &candidates, &self.cost_model);
+        knapsack_select(&ranked, budget_bytes, 0)
+            .into_iter()
+            .map(|r| {
+                IndexDef::new(
+                    r.candidate.name(),
+                    r.candidate.table.clone(),
+                    r.candidate.columns.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_sql::parse_statement;
+    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..4000i64 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(
+                    vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 8)],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    fn wq(sql: &str, weight: f64) -> WeightedQuery {
+        WeightedQuery::new(parse_statement(sql).unwrap(), weight)
+    }
+
+    #[test]
+    fn aim_advisor_reduces_estimated_workload_cost() {
+        let db = db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 17", 100.0),
+            wq("SELECT id FROM t WHERE a = 4 AND b = 2", 50.0),
+        ];
+        let mut advisor = AimAdvisor::default();
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        assert!(!defs.is_empty());
+        let cm = CostModel::default();
+        let base = workload_cost(&db, &workload, &HypoConfig::only(Vec::new()), &cm);
+        let with = workload_cost(&db, &workload, &defs_to_config(&db, &defs), &cm);
+        assert!(
+            with < base / 2.0,
+            "expected large improvement: base {base}, with {with}"
+        );
+    }
+
+    #[test]
+    fn budget_zero_recommends_nothing() {
+        let db = db();
+        let workload = vec![wq("SELECT id FROM t WHERE a = 17", 100.0)];
+        let mut advisor = AimAdvisor::default();
+        assert!(advisor.recommend(&db, &workload, 0).is_empty());
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        let db = db();
+        let workload = vec![
+            wq("SELECT id FROM t WHERE a = 17", 100.0),
+            wq("SELECT id FROM t WHERE b = 2 AND a > 5", 100.0),
+        ];
+        let cm = CostModel::default();
+        let base = workload_cost(&db, &workload, &HypoConfig::only(Vec::new()), &cm);
+        let mut costs = Vec::new();
+        for budget in [64 * 1024, 1 << 20, u64::MAX] {
+            let mut advisor = AimAdvisor::default();
+            let defs = advisor.recommend(&db, &workload, budget);
+            assert!(config_size(&db, &defs) <= budget);
+            costs.push(workload_cost(&db, &workload, &defs_to_config(&db, &defs), &cm));
+        }
+        // Larger budgets never hurt.
+        assert!(costs[0] >= costs[1] - 1e-9);
+        assert!(costs[1] >= costs[2] - 1e-9);
+        assert!(costs[2] < base);
+    }
+
+    #[test]
+    fn max_width_respected() {
+        let db = db();
+        let workload = vec![wq(
+            "SELECT id FROM t WHERE a = 1 AND b = 2 AND id > 5",
+            10.0,
+        )];
+        let mut advisor = AimAdvisor::new(2, 2);
+        let defs = advisor.recommend(&db, &workload, u64::MAX);
+        assert!(defs.iter().all(|d| d.columns.len() <= 2));
+    }
+}

@@ -1,0 +1,408 @@
+//! The end-to-end AIM procedure (Algorithm 1).
+//!
+//! ```text
+//! W          ← WorkloadSelection(database)
+//! candidates ← GenerateCandidates(W, j)
+//! materialize candidates on the clone, in descending perceived benefit,
+//!            until the storage budget is exhausted
+//! production ← RankSelectedIndexes(candidates)
+//! ```
+//!
+//! [`Aim::tune`] runs one full tuning pass: representative workload
+//! selection → structural candidate generation → ranking → knapsack
+//! selection under the storage budget → clone validation → materialization
+//! on the production database. Running it periodically yields the paper's
+//! continuous tuning (§VI-D) and its two-phase behaviour: the first pass
+//! creates narrow indexes; once those are observed in use with high seek
+//! counts, `TryCoveringIndex` flips qualifying queries to covering mode.
+
+use crate::candidates::{generate_candidates, CandidateGenConfig};
+use crate::ranking::{knapsack_select, rank_candidates, RankedCandidate};
+use crate::sharding::ShardingProfile;
+use crate::validate::{validate_on_clone, RejectReason, ValidationConfig};
+use aim_exec::{Engine, ExecError};
+use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor};
+use aim_storage::{Database, IndexDef, IoStats};
+use std::time::{Duration, Instant};
+
+/// Full configuration of a tuning pass.
+#[derive(Debug, Clone)]
+pub struct AimConfig {
+    /// Representative workload selection thresholds (§III-C).
+    pub selection: SelectionConfig,
+    /// Candidate generation parameters (join parameter `j`, covering
+    /// policy, width cap).
+    pub candidate_gen: CandidateGenConfig,
+    /// Clone-validation thresholds (§VII-B).
+    pub validation: ValidationConfig,
+    /// Storage budget `B` in bytes for *all* secondary indexes. With a
+    /// sharding profile set, this is the *fleet-wide* budget.
+    pub storage_budget: u64,
+    /// Skip clone validation (pure estimate mode; not recommended for
+    /// production, required for like-for-like advisor benchmarks).
+    pub skip_validation: bool,
+    /// Sharding economics (§VIII-b): when set, candidate utilities are
+    /// re-priced for a fleet of shards sharing the physical design before
+    /// knapsack selection.
+    pub sharding: Option<ShardingProfile>,
+}
+
+impl Default for AimConfig {
+    fn default() -> Self {
+        Self {
+            selection: SelectionConfig::default(),
+            candidate_gen: CandidateGenConfig::default(),
+            validation: ValidationConfig::default(),
+            storage_budget: u64::MAX,
+            skip_validation: false,
+            sharding: None,
+        }
+    }
+}
+
+/// One index created by a tuning pass, with its explanation.
+#[derive(Debug, Clone)]
+pub struct CreatedIndex {
+    pub def: IndexDef,
+    /// Metrics-driven explanation (benefiting queries, benefit,
+    /// maintenance, size) accompanying every recommendation.
+    pub explanation: String,
+    pub benefit: f64,
+    pub maintenance: f64,
+    pub size_bytes: u64,
+}
+
+/// Outcome of one tuning pass.
+#[derive(Debug, Clone, Default)]
+pub struct AimOutcome {
+    pub created: Vec<CreatedIndex>,
+    /// (index name, human-readable reject reason).
+    pub rejected: Vec<(String, String)>,
+    /// Number of queries in the representative workload.
+    pub workload_size: usize,
+    /// Number of candidate indexes generated before ranking.
+    pub candidates_generated: usize,
+    /// Wall-clock time of the pass (the paper's "algorithm runtime").
+    pub elapsed: Duration,
+}
+
+/// The Automatic Index Manager.
+#[derive(Debug, Clone, Default)]
+pub struct Aim {
+    pub config: AimConfig,
+    pub engine: Engine,
+}
+
+impl Aim {
+    /// Creates a tuner with the given configuration.
+    pub fn new(config: AimConfig) -> Self {
+        Self {
+            config,
+            engine: Engine::new(),
+        }
+    }
+
+    /// Runs one tuning pass against `db`, consuming the monitor's current
+    /// observation window. Created indexes are materialized on `db`.
+    pub fn tune(
+        &self,
+        db: &mut Database,
+        monitor: &WorkloadMonitor,
+    ) -> Result<AimOutcome, ExecError> {
+        let start = Instant::now();
+        let mut outcome = AimOutcome::default();
+
+        // 1. Representative workload selection.
+        let workload = select_workload(monitor, &self.config.selection);
+        outcome.workload_size = workload.len();
+        if workload.is_empty() {
+            outcome.elapsed = start.elapsed();
+            return Ok(outcome);
+        }
+
+        // 2. Structural candidate generation.
+        db.analyze_all();
+        let mut candidates = generate_candidates(db, &workload, &self.config.candidate_gen);
+        // Drop candidates that an existing index already serves: identical
+        // column lists, and any candidate that is a key-prefix of an
+        // existing index on the same table.
+        candidates.retain(|c| {
+            let Ok(table) = db.table(&c.table) else {
+                return false;
+            };
+            !table.indexes().any(|ix| {
+                ix.def().columns.len() >= c.columns.len()
+                    && ix.def().columns[..c.columns.len()] == c.columns[..]
+            })
+        });
+        outcome.candidates_generated = candidates.len();
+
+        // 3. Ranking + knapsack under the remaining budget.
+        let mut ranked = rank_candidates(db, &workload, &candidates, &self.engine.cost_model);
+        if let Some(profile) = &self.config.sharding {
+            profile.apply(&mut ranked);
+        }
+        let shard_mult = self
+            .config
+            .sharding
+            .as_ref()
+            .map_or(1, |p| p.shard_count);
+        let used = db.total_secondary_index_bytes().saturating_mul(shard_mult);
+        let chosen = knapsack_select(&ranked, self.config.storage_budget, used);
+        if chosen.is_empty() {
+            outcome.elapsed = start.elapsed();
+            return Ok(outcome);
+        }
+
+        // 4. Clone validation ("no regression" guarantee).
+        let accepted: Vec<RankedCandidate> = if self.config.skip_validation {
+            chosen
+        } else {
+            let result = validate_on_clone(
+                db,
+                &workload,
+                &chosen,
+                &self.engine,
+                &self.config.validation,
+            )?;
+            for (r, reason) in result.rejected {
+                outcome
+                    .rejected
+                    .push((r.candidate.name(), reject_text(&reason)));
+            }
+            result.accepted
+        };
+
+        // 5. Materialize on production.
+        let mut io = IoStats::new();
+        for r in accepted {
+            let def = IndexDef::new(
+                r.candidate.name(),
+                r.candidate.table.clone(),
+                r.candidate.columns.clone(),
+            );
+            match db.create_index(def.clone(), &mut io) {
+                Ok(()) => outcome.created.push(CreatedIndex {
+                    explanation: r.explanation(),
+                    benefit: r.benefit,
+                    maintenance: r.maintenance,
+                    size_bytes: r.size_bytes,
+                    def,
+                }),
+                Err(e) => outcome.rejected.push((def.name, e.to_string())),
+            }
+        }
+        db.analyze_all();
+        outcome.elapsed = start.elapsed();
+        Ok(outcome)
+    }
+}
+
+fn reject_text(reason: &RejectReason) -> String {
+    match reason {
+        RejectReason::Unused => "optimizer never used the index during replay".to_string(),
+        RejectReason::Regression {
+            query,
+            before,
+            after,
+        } => format!("query {query} regressed: {before:.1} -> {after:.1} cost units"),
+        RejectReason::Unbuildable(msg) => format!("not materializable: {msg}"),
+        RejectReason::NoImprovement => {
+            "no query improved measurably during replay (Eq. 3)".to_string()
+        }
+        RejectReason::TotalCostRegression { before, after } => format!(
+            "total workload cost regressed: {before:.1} -> {after:.1} (Eq. 2)"
+        ),
+        RejectReason::RoundsExhausted => {
+            "validation rounds exhausted before a clean pass".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_sql::parse_statement;
+    use aim_storage::{ColumnDef, ColumnType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("customer", ColumnType::Int),
+                    ColumnDef::new("region", ColumnType::Int),
+                    ColumnDef::new("amount", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..6000i64 {
+            db.table_mut("orders")
+                .unwrap()
+                .insert(
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 300),
+                        Value::Int(i % 12),
+                        Value::Int(i % 97),
+                    ],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+        let engine = Engine::new();
+        let stmt = parse_statement(sql).unwrap();
+        for _ in 0..n {
+            let out = engine.execute(db, &stmt).unwrap();
+            monitor.record(&stmt, &out);
+        }
+    }
+
+    fn quick_config() -> AimConfig {
+        AimConfig {
+            selection: SelectionConfig {
+                min_executions: 1,
+                min_benefit: 0.0,
+                max_queries: 50,
+                include_dml: true,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tune_creates_useful_index_and_improves_query() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+
+        let engine = Engine::new();
+        let stmt = parse_statement("SELECT id FROM orders WHERE customer = 42").unwrap();
+        let before = engine.execute(&mut db, &stmt).unwrap();
+
+        let aim = Aim::new(quick_config());
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(!outcome.created.is_empty(), "rejected: {:?}", outcome.rejected);
+        assert!(outcome.created[0].explanation.contains("orders"));
+
+        let after = engine.execute(&mut db, &stmt).unwrap();
+        assert!(
+            after.io.rows_read < before.io.rows_read / 10,
+            "before {} rows read, after {}",
+            before.io.rows_read,
+            after.io.rows_read
+        );
+    }
+
+    #[test]
+    fn tune_with_no_workload_is_a_noop() {
+        let mut db = db();
+        let monitor = WorkloadMonitor::new();
+        let aim = Aim::new(quick_config());
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(outcome.created.is_empty());
+        assert_eq!(outcome.workload_size, 0);
+        assert!(db.all_indexes().is_empty());
+    }
+
+    #[test]
+    fn storage_budget_limits_creation() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE amount = 5", 10);
+
+        let aim = Aim::new(AimConfig {
+            storage_budget: 1, // effectively zero
+            ..quick_config()
+        });
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(outcome.created.is_empty());
+    }
+
+    #[test]
+    fn rerun_does_not_duplicate_indexes() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+        let aim = Aim::new(quick_config());
+        let first = aim.tune(&mut db, &monitor).unwrap();
+        assert!(!first.created.is_empty());
+        let count = db.all_indexes().len();
+        // Same observations again: candidates now duplicate existing
+        // indexes and are filtered out.
+        let second = aim.tune(&mut db, &monitor).unwrap();
+        assert!(second.created.is_empty(), "{:?}", second.created);
+        assert_eq!(db.all_indexes().len(), count);
+    }
+
+    #[test]
+    fn outcome_reports_runtime_and_counts() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 1", 5);
+        let aim = Aim::new(quick_config());
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(outcome.workload_size >= 1);
+        assert!(outcome.candidates_generated >= 1);
+        assert!(outcome.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn sharding_profile_suppresses_narrow_benefit_indexes() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+        // Write traffic that every shard pays index maintenance for.
+        observe(&mut db, &mut monitor, "UPDATE orders SET customer = 7 WHERE id = 3", 20);
+
+        // Unsharded: the index is created (benefit outweighs maintenance).
+        let mut unsharded_db = db.clone();
+        let aim = Aim::new(quick_config());
+        assert!(!aim.tune(&mut unsharded_db, &monitor).unwrap().created.is_empty());
+
+        // 1000 shards, the read hits 0.1% of them while maintenance is paid
+        // everywhere: fleet economics reject the index.
+        let fp = monitor
+            .queries()
+            .find(|q| !q.is_dml())
+            .unwrap()
+            .fingerprint;
+        let mut profile = crate::sharding::ShardingProfile::new(1000);
+        profile.set_hit_fraction(fp, 0.001);
+        let sharded_aim = Aim::new(AimConfig {
+            sharding: Some(profile),
+            ..quick_config()
+        });
+        let outcome = sharded_aim.tune(&mut db, &monitor).unwrap();
+        assert!(
+            outcome.created.is_empty(),
+            "fleet-wide maintenance should sink the index: {:?}",
+            outcome.created
+        );
+    }
+
+    #[test]
+    fn skip_validation_mode_creates_without_replay() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE region = 3", 20);
+        let aim = Aim::new(AimConfig {
+            skip_validation: true,
+            ..quick_config()
+        });
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(!outcome.created.is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! Partial orders of index columns (§III-A3) and their merging (§III-E).
+//!
+//! A candidate index is not a concrete column list but a *strict partial
+//! order* represented as a sequence of ordered partitions:
+//!
+//! ```text
+//! <{col1, col2}, {col3}, {col5, col6, col7}>
+//! ```
+//!
+//! denotes every index whose first two columns are `col1`/`col2` in either
+//! order, whose third column is `col3`, followed by any permutation of the
+//! last three. Merging partial orders from different queries is what lets
+//! AIM build one wide composite index that serves several queries at once.
+//!
+//! ## Merge semantics
+//!
+//! [`PartialOrder::merge_pairwise`] implements `MergeCandidatesPairwise`:
+//! given `(P, ≺_P)` and `(Q, ≺_Q)` with `P ⊆ Q` (as column sets) and no
+//! ordering conflict, the result is P's partitions — each refined by Q's
+//! relative order among its members — followed by Q's remaining columns in
+//! Q's order (the ordinal sum `⊕`). We implement a *strengthened* conflict
+//! check relative to the paper's `C_merge`: in addition to conflicts within
+//! `P × P`, a merge is rejected when Q orders any column of `Q \ P` before
+//! a column of `P`, since the merged order would contradict `≺_Q`. The
+//! paper's formula only quantifies over `P`; without the extra check the
+//! merged index could be useless for Q's query, which defeats the stated
+//! purpose ("either candidate ... can individually be beneficial to queries
+//! for which the base partial orders were merged").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A strict partial order of index columns on one table, as a sequence of
+/// ordered partitions. Invariants: partitions are non-empty and pairwise
+/// disjoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartialOrder {
+    partitions: Vec<BTreeSet<String>>,
+}
+
+impl PartialOrder {
+    /// Builds a partial order from partitions, dropping empty ones.
+    /// Returns `None` if partitions are not pairwise disjoint.
+    pub fn new<I, P, S>(partitions: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = P>,
+        P: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut seen = BTreeSet::new();
+        let mut parts = Vec::new();
+        for p in partitions {
+            let set: BTreeSet<String> = p.into_iter().map(Into::into).collect();
+            if set.is_empty() {
+                continue;
+            }
+            for c in &set {
+                if !seen.insert(c.clone()) {
+                    return None;
+                }
+            }
+            parts.push(set);
+        }
+        Some(Self { partitions: parts })
+    }
+
+    /// A single unordered partition (`<{cols}>`).
+    pub fn unordered<S: Into<String>>(cols: impl IntoIterator<Item = S>) -> Option<Self> {
+        Self::new(std::iter::once(cols.into_iter().collect::<Vec<S>>()))
+    }
+
+    /// A fully ordered chain (`<{a}, {b}, {c}>`).
+    pub fn chain<S: Into<String>>(cols: impl IntoIterator<Item = S>) -> Option<Self> {
+        Self::new(cols.into_iter().map(|c| vec![c]))
+    }
+
+    /// The ordered partitions.
+    pub fn partitions(&self) -> &[BTreeSet<String>] {
+        &self.partitions
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Total number of columns (the width of any satisfying index).
+    pub fn width(&self) -> usize {
+        self.partitions.iter().map(BTreeSet::len).sum()
+    }
+
+    /// The set of all columns.
+    pub fn columns(&self) -> BTreeSet<String> {
+        self.partitions.iter().flatten().cloned().collect()
+    }
+
+    /// Appends the given columns as a trailing partition, skipping columns
+    /// already present (used for covering suffixes: `c.append(...)` in
+    /// Algorithms 4, 6 and 7).
+    pub fn append<S: Into<String>>(&self, cols: impl IntoIterator<Item = S>) -> Self {
+        let existing = self.columns();
+        let fresh: BTreeSet<String> = cols
+            .into_iter()
+            .map(Into::into)
+            .filter(|c| !existing.contains(c))
+            .collect();
+        let mut partitions = self.partitions.clone();
+        if !fresh.is_empty() {
+            partitions.push(fresh);
+        }
+        Self { partitions }
+    }
+
+    /// Index of the partition holding `col`, if any.
+    fn partition_of(&self, col: &str) -> Option<usize> {
+        self.partitions.iter().position(|p| p.contains(col))
+    }
+
+    /// True if `a ≺ b` in this partial order (both present, strictly
+    /// earlier partition).
+    pub fn precedes(&self, a: &str, b: &str) -> bool {
+        match (self.partition_of(a), self.partition_of(b)) {
+            (Some(pa), Some(pb)) => pa < pb,
+            _ => false,
+        }
+    }
+
+    /// `MergeCandidatesPairwise(self, other)`: merge when `self ⊆ other`
+    /// (column sets) and the orders are compatible; `None` otherwise.
+    ///
+    /// The merged order is: self's partitions, each refined by `other`'s
+    /// internal order, followed by `other`'s leftover columns in `other`'s
+    /// order.
+    pub fn merge_pairwise(&self, other: &PartialOrder) -> Option<PartialOrder> {
+        let p_cols = self.columns();
+        let q_cols = other.columns();
+        if !p_cols.is_subset(&q_cols) {
+            return None;
+        }
+        // Conflict within P×P: a ≺_P b but b ≺_Q a.
+        for a in &p_cols {
+            for b in &p_cols {
+                if self.precedes(a, b) && other.precedes(b, a) {
+                    return None;
+                }
+            }
+        }
+        // Strengthened check: Q must not order a leftover column before any
+        // column of P (the merged order puts all of P first).
+        for b in q_cols.difference(&p_cols) {
+            for a in &p_cols {
+                if other.precedes(b, a) {
+                    return None;
+                }
+            }
+        }
+
+        // Refine each P-partition by Q's relative order among its members.
+        let mut partitions: Vec<BTreeSet<String>> = Vec::new();
+        for part in &self.partitions {
+            // Group members by their partition index in Q (columns missing
+            // an order in Q share a group keyed by usize::MAX ordering
+            // after? They are in Q by subset check, so always present).
+            let mut keyed: Vec<(usize, &String)> = part
+                .iter()
+                .map(|c| (other.partition_of(c).unwrap_or(usize::MAX), c))
+                .collect();
+            keyed.sort();
+            let mut current_key = None;
+            for (k, c) in keyed {
+                if current_key != Some(k) {
+                    partitions.push(BTreeSet::new());
+                    current_key = Some(k);
+                }
+                partitions
+                    .last_mut()
+                    .expect("pushed above")
+                    .insert(c.clone());
+            }
+        }
+        // Append Q's leftover columns, preserving Q's partition structure.
+        for part in &other.partitions {
+            let leftover: BTreeSet<String> = part
+                .iter()
+                .filter(|c| !p_cols.contains(*c))
+                .cloned()
+                .collect();
+            if !leftover.is_empty() {
+                partitions.push(leftover);
+            }
+        }
+        Some(PartialOrder { partitions })
+    }
+
+    /// True if the concrete column sequence `order` satisfies this partial
+    /// order: same column set, and partition boundaries respected.
+    pub fn is_satisfied_by(&self, order: &[String]) -> bool {
+        if self.width() != order.len() {
+            return false;
+        }
+        let mut pos = 0usize;
+        for part in &self.partitions {
+            let slice: BTreeSet<&str> = order[pos..pos + part.len()]
+                .iter()
+                .map(String::as_str)
+                .collect();
+            let expect: BTreeSet<&str> = part.iter().map(String::as_str).collect();
+            if slice != expect {
+                return false;
+            }
+            pos += part.len();
+        }
+        true
+    }
+
+    /// Chooses one deterministic total order satisfying this partial order.
+    ///
+    /// Within each partition, `tie_break` orders columns (lower key first);
+    /// the paper leaves this choice arbitrary — AIM uses dataless-index
+    /// statistics to put more selective columns first, which callers get by
+    /// passing a selectivity-derived key.
+    pub fn total_order_by<K: Ord>(&self, mut tie_break: impl FnMut(&str) -> K) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.width());
+        for part in &self.partitions {
+            let mut cols: Vec<&String> = part.iter().collect();
+            cols.sort_by_key(|c| tie_break(c));
+            out.extend(cols.into_iter().cloned());
+        }
+        out
+    }
+
+    /// Deterministic total order using lexicographic tie-breaking.
+    pub fn total_order(&self) -> Vec<String> {
+        self.total_order_by(|c| c.to_string())
+    }
+
+    /// Number of distinct total orders satisfying this partial order
+    /// (product of partition factorials), saturating.
+    pub fn satisfying_order_count(&self) -> u128 {
+        let mut n: u128 = 1;
+        for part in &self.partitions {
+            let mut f: u128 = 1;
+            for k in 2..=(part.len() as u128) {
+                f = f.saturating_mul(k);
+            }
+            n = n.saturating_mul(f);
+        }
+        n
+    }
+}
+
+impl fmt::Display for PartialOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, part) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, c) in part.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// `MergePartialOrders` (§III-E): closes a set of partial orders under
+/// pairwise merging, returning the fixed point. Input orders that merged
+/// into wider ones are retained as well — ranking decides which to keep —
+/// unless `keep_absorbed` is false, in which case any order that is a
+/// subset-compatible component of a produced merge is dropped.
+pub fn merge_partial_orders(orders: &[PartialOrder], keep_absorbed: bool) -> Vec<PartialOrder> {
+    let mut set: BTreeSet<PartialOrder> = orders.iter().cloned().collect();
+    loop {
+        let snapshot: Vec<PartialOrder> = set.iter().cloned().collect();
+        let mut grew = false;
+        for a in &snapshot {
+            for b in &snapshot {
+                if a == b {
+                    continue;
+                }
+                if let Some(m) = a.merge_pairwise(b) {
+                    if set.insert(m) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    if keep_absorbed {
+        return set.into_iter().collect();
+    }
+    // Drop orders absorbed into a strictly wider merge result.
+    let all: Vec<PartialOrder> = set.iter().cloned().collect();
+    all.iter()
+        .filter(|p| {
+            !all.iter().any(|q| {
+                q.width() > p.width() && p.merge_pairwise(q).is_some_and(|m| m == *q)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po(parts: &[&[&str]]) -> PartialOrder {
+        PartialOrder::new(parts.iter().map(|p| p.iter().copied())).unwrap()
+    }
+
+    #[test]
+    fn paper_example_merge() {
+        // <{col1, col2, col3}> merged with <{col2, col3}>
+        // must produce <{col2, col3}, {col1}>.
+        let q = po(&[&["col1", "col2", "col3"]]);
+        let p = po(&[&["col2", "col3"]]);
+        let merged = p.merge_pairwise(&q).unwrap();
+        assert_eq!(merged, po(&[&["col2", "col3"], &["col1"]]));
+        // The reverse direction fails the subset condition.
+        assert!(q.merge_pairwise(&p).is_none());
+    }
+
+    #[test]
+    fn merged_order_satisfies_both_queries() {
+        let q = po(&[&["col1", "col2", "col3"]]);
+        let p = po(&[&["col2", "col3"]]);
+        let merged = p.merge_pairwise(&q).unwrap();
+        let total = merged.total_order();
+        // Any satisfying order serves P (prefix {col2,col3}) and Q (all 3).
+        assert_eq!(
+            total[..2].iter().cloned().collect::<BTreeSet<_>>(),
+            ["col2".to_string(), "col3".to_string()].into()
+        );
+        assert_eq!(total[2], "col1");
+        assert_eq!(merged.satisfying_order_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_orders_do_not_merge() {
+        // P says a before b; Q says b before a.
+        let p = po(&[&["a"], &["b"]]);
+        let q = po(&[&["b"], &["a"], &["c"]]);
+        assert!(p.merge_pairwise(&q).is_none());
+    }
+
+    #[test]
+    fn strengthened_check_rejects_leftover_before_p() {
+        // Q orders c (not in P) before a (in P): merged <P..., c> would
+        // contradict Q.
+        let p = po(&[&["a", "b"]]);
+        let q = po(&[&["c"], &["a", "b"]]);
+        assert!(p.merge_pairwise(&q).is_none());
+        // But leftover after P merges fine.
+        let q2 = po(&[&["a", "b"], &["c"]]);
+        let merged = p.merge_pairwise(&q2).unwrap();
+        assert_eq!(merged, po(&[&["a", "b"], &["c"]]));
+    }
+
+    #[test]
+    fn refinement_splits_partition_by_q_order() {
+        // P = <{a, b}> unordered; Q = <{a}, {b}, {c}> fully ordered.
+        // Merge must refine P to <{a}, {b}> then append {c}.
+        let p = po(&[&["a", "b"]]);
+        let q = po(&[&["a"], &["b"], &["c"]]);
+        let merged = p.merge_pairwise(&q).unwrap();
+        assert_eq!(merged, po(&[&["a"], &["b"], &["c"]]));
+    }
+
+    #[test]
+    fn identical_orders_merge_to_themselves() {
+        let p = po(&[&["a"], &["b", "c"]]);
+        let merged = p.merge_pairwise(&p.clone()).unwrap();
+        assert_eq!(merged, p);
+    }
+
+    #[test]
+    fn new_rejects_overlapping_partitions() {
+        assert!(PartialOrder::new([vec!["a", "b"], vec!["b", "c"]]).is_none());
+    }
+
+    #[test]
+    fn append_skips_existing_columns() {
+        let p = po(&[&["a"], &["b"]]);
+        let appended = p.append(["b", "c", "d"]);
+        assert_eq!(appended, po(&[&["a"], &["b"], &["c", "d"]]));
+        // Appending nothing new is identity.
+        assert_eq!(appended.append(["a"]), appended);
+    }
+
+    #[test]
+    fn is_satisfied_by_checks_partition_boundaries() {
+        let p = po(&[&["a", "b"], &["c"]]);
+        let sat = |cols: &[&str]| {
+            p.is_satisfied_by(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert!(sat(&["a", "b", "c"]));
+        assert!(sat(&["b", "a", "c"]));
+        assert!(!sat(&["a", "c", "b"]));
+        assert!(!sat(&["a", "b"]));
+        assert!(!sat(&["a", "b", "c", "d"]));
+    }
+
+    #[test]
+    fn total_order_by_uses_tie_break() {
+        let p = po(&[&["a", "b", "c"]]);
+        // Reverse-lexicographic tie-break.
+        let order = p.total_order_by(|c| std::cmp::Reverse(c.to_string()));
+        assert_eq!(order, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn merge_closure_reaches_fixed_point() {
+        let a = po(&[&["col1", "col2", "col3"]]);
+        let b = po(&[&["col2", "col3"]]);
+        let c = po(&[&["col2"]]);
+        let merged = merge_partial_orders(&[a, b, c], true);
+        // Closure must contain <{col2}, {col3}, {col1}> obtained by
+        // merging c into (b into a).
+        assert!(merged.contains(&po(&[&["col2"], &["col3"], &["col1"]])));
+    }
+
+    #[test]
+    fn merge_closure_drop_absorbed() {
+        let a = po(&[&["col1", "col2", "col3"]]);
+        let b = po(&[&["col2", "col3"]]);
+        let merged = merge_partial_orders(&[a.clone(), b.clone()], false);
+        // The merged wide order is present; exact subset components that
+        // the merge fully absorbs can be dropped.
+        assert!(merged.contains(&po(&[&["col2", "col3"], &["col1"]])));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = po(&[&["b", "a"], &["c"]]);
+        assert_eq!(p.to_string(), "<{a, b}, {c}>");
+    }
+
+    #[test]
+    fn width_and_columns() {
+        let p = po(&[&["a", "b"], &["c"]]);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.columns().len(), 3);
+        assert!(!p.is_empty());
+        assert!(po(&[]).is_empty());
+    }
+}

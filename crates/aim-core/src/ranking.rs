@@ -1,0 +1,473 @@
+//! Candidate ranking and selection (§III-F, Eqs. 7–8).
+//!
+//! Each candidate's utility combines:
+//!
+//! * **benefit** `U₊(q, I)` — the relative what-if cost reduction of each
+//!   benefiting query, scaled by that query's observed CPU consumption
+//!   (Eq. 7), distributed among the candidate indexes the what-if plan
+//!   actually uses, proportionally to their marginal contribution, and
+//! * **maintenance** `u₋(i)` — the relative write-amplification overhead
+//!   the index imposes on each DML statement, scaled by that statement's
+//!   CPU (Eq. 8).
+//!
+//! Selection is a knapsack: candidates are taken in order of net utility
+//! per byte of storage until the budget is exhausted.
+
+use crate::candidates::CandidateIndex;
+use aim_exec::{
+    estimate_statement_cost, plan_select, CostModel, HypoConfig, HypotheticalIndex, IndexChoice,
+};
+use aim_monitor::WorkloadQuery;
+use aim_sql::ast::{Select, SelectItem, Statement};
+use aim_sql::normalize::QueryFingerprint;
+use aim_storage::{Database, IndexDef};
+use std::collections::BTreeMap;
+
+/// A candidate with its computed economics.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    pub candidate: CandidateIndex,
+    /// Estimated size in bytes (hypothetical-index estimate).
+    pub size_bytes: u64,
+    /// Total expected CPU benefit over the observation window (cost units).
+    pub benefit: f64,
+    /// Total expected maintenance overhead over the window (cost units).
+    pub maintenance: f64,
+    /// Per-query benefit attribution — the "metrics driven explanation"
+    /// that accompanies each recommendation.
+    pub benefiting_queries: Vec<(QueryFingerprint, f64)>,
+}
+
+impl RankedCandidate {
+    /// Net utility `u(i)` (Eq. 7 minus Eq. 8).
+    pub fn utility(&self) -> f64 {
+        self.benefit - self.maintenance
+    }
+
+    /// Utility per byte — the knapsack ordering key.
+    pub fn density(&self) -> f64 {
+        self.utility() / self.size_bytes.max(1) as f64
+    }
+
+    /// Human-readable explanation of the recommendation.
+    pub fn explanation(&self) -> String {
+        format!(
+            "index {} on {}({}): benefit {:.1} cost-units/window over {} queries, \
+             maintenance {:.1}, size {} bytes, net utility {:.1}",
+            self.candidate.name(),
+            self.candidate.table,
+            self.candidate.columns.join(", "),
+            self.benefit,
+            self.benefiting_queries.len(),
+            self.maintenance,
+            self.size_bytes,
+            self.utility()
+        )
+    }
+}
+
+/// The SELECT whose cost stands in for `cost_r(q, X)`: SELECTs cost
+/// themselves; UPDATE/DELETE cost their row-location step.
+fn benefit_select(stmt: &Statement) -> Option<Select> {
+    match stmt {
+        Statement::Select(s) => Some(s.clone()),
+        Statement::Update(u) => Some(where_select(&u.table, u.where_clause.as_ref())),
+        Statement::Delete(d) => Some(where_select(&d.table, d.where_clause.as_ref())),
+        _ => None,
+    }
+}
+
+fn where_select(table: &str, where_clause: Option<&aim_sql::ast::Expr>) -> Select {
+    Select {
+        distinct: false,
+        items: vec![SelectItem::Wildcard],
+        from: vec![aim_sql::ast::TableRef::new(table)],
+        where_clause: where_clause.cloned(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    }
+}
+
+/// Ranks candidates against the workload. Returns candidates with their
+/// benefit/maintenance economics, sorted by descending utility density.
+pub fn rank_candidates(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    candidates: &[CandidateIndex],
+    cm: &CostModel,
+) -> Vec<RankedCandidate> {
+    // Build hypothetical indexes once; drop unbuildable candidates.
+    let mut hypos: Vec<(usize, HypotheticalIndex)> = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let def = IndexDef::new(c.name(), c.table.clone(), c.columns.clone());
+        if let Some(h) = HypotheticalIndex::build(db, def) {
+            hypos.push((i, h));
+        }
+    }
+
+    let mut benefit: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut maintenance: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut attribution: BTreeMap<usize, Vec<(QueryFingerprint, f64)>> = BTreeMap::new();
+
+    let empty_cfg = HypoConfig::only(Vec::new());
+    for wq in workload {
+        // ------------------------------------------------ benefit (Eq. 7)
+        if let Some(select) = benefit_select(&wq.stats.exemplar) {
+            // Candidates generated for this query.
+            let relevant: Vec<(usize, HypotheticalIndex)> = hypos
+                .iter()
+                .filter(|(i, _)| candidates[*i].sources.contains(&wq.stats.fingerprint))
+                .map(|(i, h)| (*i, h.clone()))
+                .collect();
+            if !relevant.is_empty() {
+                let cost_empty = plan_select(db, &select, &empty_cfg, cm)
+                    .map(|p| p.est_cost)
+                    .unwrap_or(f64::INFINITY);
+                let cfg = HypoConfig::only(relevant.iter().map(|(_, h)| h.clone()).collect());
+                if let Ok(plan) = plan_select(db, &select, &cfg, cm) {
+                    let cost_with = plan.est_cost;
+                    if cost_empty.is_finite() && cost_empty > 0.0 && cost_with < cost_empty {
+                        let u_plus =
+                            (cost_empty - cost_with) / cost_empty * wq.stats.total_cpu;
+                        // Which relevant hypos did the plan use?
+                        let used: Vec<usize> = plan
+                            .used_indexes()
+                            .iter()
+                            .filter_map(|(_, choice)| match choice {
+                                IndexChoice::Hypothetical(k) => Some(relevant[*k].0),
+                                _ => None,
+                            })
+                            .collect();
+                        if !used.is_empty() {
+                            // Shares proportional to marginal contribution.
+                            let mut marginals: Vec<f64> = Vec::with_capacity(used.len());
+                            for &uix in &used {
+                                let without: Vec<HypotheticalIndex> = relevant
+                                    .iter()
+                                    .filter(|(i, _)| *i != uix)
+                                    .map(|(_, h)| h.clone())
+                                    .collect();
+                                let c_without =
+                                    plan_select(db, &select, &HypoConfig::only(without), cm)
+                                        .map(|p| p.est_cost)
+                                        .unwrap_or(cost_empty);
+                                marginals.push((c_without - cost_with).max(0.0));
+                            }
+                            let total: f64 = marginals.iter().sum();
+                            for (&uix, &m) in used.iter().zip(&marginals) {
+                                let share = if total > 0.0 {
+                                    m / total
+                                } else {
+                                    1.0 / used.len() as f64
+                                };
+                                let b = share * u_plus;
+                                *benefit.entry(uix).or_default() += b;
+                                attribution
+                                    .entry(uix)
+                                    .or_default()
+                                    .push((wq.stats.fingerprint, b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // -------------------------------------------- maintenance (Eq. 8)
+        if wq.stats.is_dml() {
+            let stmt = &wq.stats.exemplar;
+            let base = estimate_statement_cost(db, stmt, &empty_cfg, cm).unwrap_or(0.0);
+            if base > 0.0 {
+                for (i, h) in &hypos {
+                    // Only indexes on the written table can be affected.
+                    if written_table(stmt) != Some(h.def.table.as_str()) {
+                        continue;
+                    }
+                    let with = estimate_statement_cost(
+                        db,
+                        stmt,
+                        &HypoConfig::only(vec![h.clone()]),
+                        cm,
+                    )
+                    .unwrap_or(base);
+                    let overhead = ((with - base) / base).max(0.0) * wq.stats.total_cpu;
+                    *maintenance.entry(*i).or_default() += overhead;
+                }
+            }
+        }
+    }
+
+    let mut ranked: Vec<RankedCandidate> = hypos
+        .into_iter()
+        .map(|(i, h)| RankedCandidate {
+            candidate: candidates[i].clone(),
+            size_bytes: h.size_bytes,
+            benefit: benefit.get(&i).copied().unwrap_or(0.0),
+            maintenance: maintenance.get(&i).copied().unwrap_or(0.0),
+            benefiting_queries: attribution.remove(&i).unwrap_or_default(),
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.density().total_cmp(&a.density()));
+    ranked
+}
+
+fn written_table(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::Insert(i) => Some(&i.table),
+        Statement::Update(u) => Some(&u.table),
+        Statement::Delete(d) => Some(&d.table),
+        _ => None,
+    }
+}
+
+/// True when `narrow`'s key columns are a strict prefix of `wide`'s on the
+/// same table (the wide index serves every access path the narrow one can).
+fn is_prefix_of(narrow: &CandidateIndex, wide: &CandidateIndex) -> bool {
+    narrow.table == wide.table
+        && wide.columns.len() > narrow.columns.len()
+        && wide.columns[..narrow.columns.len()] == narrow.columns[..]
+}
+
+/// Knapsack selection: greedily takes candidates in density order while the
+/// storage budget holds and net utility stays positive. `used_bytes` is
+/// storage already consumed by pre-existing indexes that count against the
+/// budget.
+pub fn knapsack_select(
+    ranked: &[RankedCandidate],
+    budget_bytes: u64,
+    used_bytes: u64,
+) -> Vec<RankedCandidate> {
+    let mut remaining = budget_bytes.saturating_sub(used_bytes);
+    let mut chosen: Vec<RankedCandidate> = Vec::new();
+    for r in ranked {
+        if r.utility() <= 0.0 {
+            continue;
+        }
+        // A candidate whose key columns are a prefix of an already chosen
+        // index on the same table adds no access path the wider one lacks;
+        // keeping it would only burn budget (the paper's limited
+        // index-interaction accounting handles exactly this case through
+        // merging; the selection must not undo it).
+        let is_prefix_of_chosen = chosen.iter().any(|c| {
+            c.candidate.table == r.candidate.table
+                && c.candidate.columns.len() >= r.candidate.columns.len()
+                && c.candidate.columns[..r.candidate.columns.len()] == r.candidate.columns[..]
+        });
+        if is_prefix_of_chosen {
+            continue;
+        }
+        // A wider candidate absorbs any previously chosen prefix of
+        // itself, reclaiming that budget — so fit is checked against
+        // remaining *plus* what absorption would free.
+        let reclaimable: u64 = chosen
+            .iter()
+            .filter(|c| is_prefix_of(&c.candidate, &r.candidate))
+            .map(|c| c.size_bytes)
+            .sum();
+        if r.size_bytes <= remaining + reclaimable {
+            chosen.retain(|c| !is_prefix_of(&c.candidate, &r.candidate));
+            remaining = remaining + reclaimable - r.size_bytes;
+            chosen.push(r.clone());
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{generate_candidates, CandidateGenConfig};
+    use aim_exec::Engine;
+    use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor};
+    use aim_sql::parse_statement;
+    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                    ColumnDef::new("c", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..5000i64 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 100),
+                        Value::Int(i % 10),
+                        Value::Int(i % 1000),
+                    ],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    fn workload(db: &mut Database, sqls: &[(&str, usize)]) -> Vec<WorkloadQuery> {
+        let engine = Engine::new();
+        let mut m = WorkloadMonitor::new();
+        for (sql, n) in sqls {
+            let stmt = parse_statement(sql).unwrap();
+            for _ in 0..*n {
+                let out = engine.execute(db, &stmt).unwrap();
+                m.record(&stmt, &out);
+            }
+        }
+        select_workload(
+            &m,
+            &SelectionConfig {
+                min_executions: 1,
+                min_benefit: 0.0,
+                max_queries: 100,
+                include_dml: true,
+            },
+        )
+    }
+
+    fn rank_for(db: &mut Database, sqls: &[(&str, usize)]) -> Vec<RankedCandidate> {
+        let w = workload(db, sqls);
+        let cands = generate_candidates(db, &w, &CandidateGenConfig::default());
+        rank_candidates(db, &w, &cands, &CostModel::default())
+    }
+
+    #[test]
+    fn beneficial_candidate_has_positive_utility() {
+        let mut db = db();
+        let ranked = rank_for(&mut db, &[("SELECT id FROM t WHERE a = 5", 20)]);
+        assert!(!ranked.is_empty());
+        let top = &ranked[0];
+        assert!(top.benefit > 0.0, "{}", top.explanation());
+        assert!(top.utility() > 0.0);
+        assert!(top.candidate.columns.contains(&"a".to_string()));
+        assert!(!top.benefiting_queries.is_empty());
+    }
+
+    #[test]
+    fn hot_query_candidate_ranks_above_cold() {
+        let mut db = db();
+        let ranked = rank_for(
+            &mut db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 50),
+                ("SELECT id FROM t WHERE c = 7", 1),
+            ],
+        );
+        let pos_a = ranked
+            .iter()
+            .position(|r| r.candidate.columns == vec!["a".to_string()])
+            .unwrap();
+        let pos_c = ranked
+            .iter()
+            .position(|r| r.candidate.columns == vec!["c".to_string()])
+            .unwrap();
+        assert!(pos_a < pos_c, "hot-query index should rank first");
+    }
+
+    #[test]
+    fn dml_heavy_workload_penalizes_maintenance() {
+        let mut db = db();
+        let ranked = rank_for(
+            &mut db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 2),
+                ("UPDATE t SET a = 3 WHERE id = 17", 200),
+            ],
+        );
+        let r = ranked
+            .iter()
+            .find(|r| r.candidate.columns == vec!["a".to_string()])
+            .unwrap();
+        assert!(r.maintenance > 0.0, "{}", r.explanation());
+    }
+
+    #[test]
+    fn knapsack_respects_budget() {
+        let mut db = db();
+        let ranked = rank_for(
+            &mut db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 20),
+                ("SELECT id FROM t WHERE c = 7", 20),
+                ("SELECT id FROM t WHERE b = 2 AND c > 100", 20),
+            ],
+        );
+        let all_sizes: u64 = ranked.iter().map(|r| r.size_bytes).sum();
+        let unlimited = knapsack_select(&ranked, u64::MAX, 0);
+        let limited = knapsack_select(&ranked, all_sizes / 3, 0);
+        assert!(limited.len() < unlimited.len());
+        let used: u64 = limited.iter().map(|r| r.size_bytes).sum();
+        assert!(used <= all_sizes / 3);
+    }
+
+    #[test]
+    fn knapsack_skips_negative_utility() {
+        let mut db = db();
+        // Pure write workload: every index has negative or zero utility.
+        let ranked = rank_for(
+            &mut db,
+            &[("UPDATE t SET a = 3 WHERE id = 17", 100)],
+        );
+        let chosen = knapsack_select(&ranked, u64::MAX, 0);
+        assert!(chosen.iter().all(|c| c.utility() > 0.0));
+    }
+
+    #[test]
+    fn pre_used_budget_reduces_capacity() {
+        let mut db = db();
+        let ranked = rank_for(&mut db, &[("SELECT id FROM t WHERE a = 5", 20)]);
+        assert!(!ranked.is_empty());
+        let size = ranked[0].size_bytes;
+        let chosen = knapsack_select(&ranked, size, size / 2);
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn knapsack_absorbs_prefix_to_fit_wider_candidate() {
+        use crate::candidates::CandidateIndex;
+        use crate::partial_order::PartialOrder;
+        use std::collections::BTreeSet;
+        let mk = |cols: Vec<&str>, benefit: f64, size: u64| RankedCandidate {
+            candidate: CandidateIndex {
+                table: "t".into(),
+                columns: cols.iter().map(|s| s.to_string()).collect(),
+                po: PartialOrder::chain(cols.iter().map(|s| s.to_string())).expect("valid"),
+                sources: BTreeSet::new(),
+            },
+            size_bytes: size,
+            benefit,
+            maintenance: 0.0,
+            benefiting_queries: Vec::new(),
+        };
+        // Density order: narrow (dense) first, wide (more total utility,
+        // less dense) second; budget fits either alone but not both.
+        let ranked = vec![mk(vec!["a"], 100.0, 100), mk(vec!["a", "b"], 150.0, 160)];
+        let chosen = knapsack_select(&ranked, 200, 0);
+        // The wide candidate must absorb its chosen prefix and fit.
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].candidate.columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn explanation_mentions_table_and_columns() {
+        let mut db = db();
+        let ranked = rank_for(&mut db, &[("SELECT id FROM t WHERE a = 5", 20)]);
+        let text = ranked[0].explanation();
+        assert!(text.contains("t(") && text.contains('a'), "{text}");
+    }
+}

@@ -1,0 +1,404 @@
+//! Scalar expression evaluation.
+//!
+//! Expressions are evaluated against an *environment*: one optional row per
+//! bound table instance (inner tables of a join may not be bound yet).
+//! SQL three-valued logic is modelled with [`Value::Null`]: comparisons
+//! against NULL yield NULL, and filters treat NULL as false.
+
+use crate::bind::Binder;
+use crate::error::ExecError;
+use aim_sql::ast::{BinOp, Expr, Literal};
+use aim_storage::{Row, Value};
+
+/// Evaluation environment: the current row of each bound table instance.
+pub struct Env<'a> {
+    rows: &'a [Option<&'a Row>],
+}
+
+impl<'a> Env<'a> {
+    /// Creates an environment over per-table rows aligned with the binder's
+    /// table list.
+    pub fn new(rows: &'a [Option<&'a Row>]) -> Self {
+        Self { rows }
+    }
+
+    fn get(&self, table_idx: usize, col_idx: usize) -> Result<Value, ExecError> {
+        match self.rows.get(table_idx) {
+            Some(Some(row)) => Ok(row[col_idx].clone()),
+            Some(None) => Err(ExecError::Eval(format!(
+                "table instance {table_idx} is not bound in this context"
+            ))),
+            None => Err(ExecError::Eval(format!(
+                "table index {table_idx} out of range"
+            ))),
+        }
+    }
+}
+
+/// Converts a literal to a runtime value.
+pub fn literal_value(lit: &Literal) -> Result<Value, ExecError> {
+    match lit {
+        Literal::Int(v) => Ok(Value::Int(*v)),
+        Literal::Float(v) => Ok(Value::Float(*v)),
+        Literal::Str(s) => Ok(Value::Str(s.clone())),
+        Literal::Bool(b) => Ok(Value::Bool(*b)),
+        Literal::Null => Ok(Value::Null),
+        Literal::Param => Err(ExecError::Eval(
+            "unbound ? parameter at execution time".into(),
+        )),
+    }
+}
+
+/// Evaluates `expr` to a value. Aggregates are rejected here — they are
+/// handled by the executor's aggregation operator.
+pub fn eval(expr: &Expr, binder: &Binder, env: &Env<'_>) -> Result<Value, ExecError> {
+    match expr {
+        Expr::Literal(lit) => literal_value(lit),
+        Expr::Column(c) => {
+            let bc = binder.resolve(c)?;
+            env.get(bc.table_idx, bc.col_idx)
+        }
+        Expr::Neg(inner) => {
+            let v = eval(inner, binder, env)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Null => Ok(Value::Null),
+                other => Err(ExecError::Eval(format!("cannot negate {other}"))),
+            }
+        }
+        Expr::Not(inner) => match eval(inner, binder, env)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Null => Ok(Value::Null),
+            other => Err(ExecError::Eval(format!("NOT of non-boolean {other}"))),
+        },
+        Expr::And(children) => {
+            // SQL three-valued AND: false dominates, then NULL.
+            let mut saw_null = false;
+            for c in children {
+                match eval(c, binder, env)? {
+                    Value::Bool(false) => return Ok(Value::Bool(false)),
+                    Value::Bool(true) => {}
+                    Value::Null => saw_null = true,
+                    other => {
+                        return Err(ExecError::Eval(format!("AND of non-boolean {other}")))
+                    }
+                }
+            }
+            Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+        }
+        Expr::Or(children) => {
+            let mut saw_null = false;
+            for c in children {
+                match eval(c, binder, env)? {
+                    Value::Bool(true) => return Ok(Value::Bool(true)),
+                    Value::Bool(false) => {}
+                    Value::Null => saw_null = true,
+                    other => {
+                        return Err(ExecError::Eval(format!("OR of non-boolean {other}")))
+                    }
+                }
+            }
+            Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval(left, binder, env)?;
+            let r = eval(right, binder, env)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, binder, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, binder, env)?;
+                if iv.is_null() {
+                    saw_null = true;
+                } else if iv == v {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, binder, env)?;
+            let lo = eval(low, binder, env)?;
+            let hi = eval(high, binder, env)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let inside = v >= lo && v <= hi;
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, binder, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, binder, env)?;
+            let p = eval(pattern, binder, env)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(ExecError::Eval(format!("LIKE on non-strings {a}, {b}"))),
+            }
+        }
+        Expr::Aggregate { .. } => Err(ExecError::Eval(
+            "aggregate evaluated in scalar context".into(),
+        )),
+    }
+}
+
+/// Evaluates a binary operator on two values.
+pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, ExecError> {
+    use BinOp::*;
+    match op {
+        NullSafeEq => return Ok(Value::Bool(l == r)),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp(r);
+            let b = match op {
+                Eq => ord.is_eq(),
+                NotEq => ord.is_ne(),
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            return Ok(Value::Bool(b));
+        }
+        _ => {}
+    }
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                Add => a.checked_add(*b),
+                Sub => a.checked_sub(*b),
+                Mul => a.checked_mul(*b),
+                Div => {
+                    if *b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.checked_div(*b)
+                }
+                Mod => {
+                    if *b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.checked_rem(*b)
+                }
+                _ => unreachable!("comparison handled above"),
+            };
+            v.map(Value::Int)
+                .ok_or_else(|| ExecError::Eval("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(ExecError::Eval(format!(
+                    "arithmetic on non-numeric values {l}, {r}"
+                )));
+            };
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a % b
+                }
+                _ => unreachable!("comparison handled above"),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+/// True if a filter predicate accepts the row (NULL counts as rejection).
+pub fn is_true(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any single char).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => !s.is_empty() && s[0] == *c && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_sql::parse_statement;
+    use aim_sql::Statement;
+    use aim_storage::{ColumnDef, ColumnType, Database, TableSchema};
+
+    fn setup() -> (Database, Binder, Row) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("x", ColumnType::Int),
+                    ColumnDef::new("s", ColumnType::Str),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let select = match parse_statement("SELECT id FROM t").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let binder = Binder::for_select(&db, &select).unwrap();
+        let row = vec![Value::Int(1), Value::Int(10), Value::Str("abc".into())];
+        (db, binder, row)
+    }
+
+    fn eval_where(sql_pred: &str) -> Value {
+        let (_db, binder, row) = setup();
+        let stmt = parse_statement(&format!("SELECT id FROM t WHERE {sql_pred}")).unwrap();
+        let pred = match stmt {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        let rows = [Some(&row)];
+        let env = Env::new(&rows);
+        eval(&pred, &binder, &env).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval_where("x = 10"), Value::Bool(true));
+        assert_eq!(eval_where("x > 10"), Value::Bool(false));
+        assert_eq!(eval_where("x >= 10"), Value::Bool(true));
+        assert_eq!(eval_where("x <> 3"), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagation_in_comparison() {
+        assert_eq!(eval_where("x = NULL"), Value::Null);
+        assert_eq!(eval_where("x <=> NULL"), Value::Bool(false));
+        assert_eq!(eval_where("NULL <=> NULL"), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        assert_eq!(eval_where("x = 10 AND s = NULL"), Value::Null);
+        assert_eq!(eval_where("x = 99 AND s = NULL"), Value::Bool(false));
+        assert_eq!(eval_where("x = 10 OR s = NULL"), Value::Bool(true));
+        assert_eq!(eval_where("x = 99 OR s = NULL"), Value::Null);
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(eval_where("x IN (1, 10)"), Value::Bool(true));
+        assert_eq!(eval_where("x IN (1, 2)"), Value::Bool(false));
+        assert_eq!(eval_where("x IN (1, NULL)"), Value::Null);
+        assert_eq!(eval_where("x NOT IN (1, 2)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        assert_eq!(eval_where("x BETWEEN 5 AND 15"), Value::Bool(true));
+        assert_eq!(eval_where("x NOT BETWEEN 5 AND 15"), Value::Bool(false));
+        assert_eq!(eval_where("s IS NULL"), Value::Bool(false));
+        assert_eq!(eval_where("s IS NOT NULL"), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "a_c"));
+        assert!(like_match("abc", "%"));
+        assert!(!like_match("abc", "b%"));
+        assert!(!like_match("abc", "a_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert_eq!(eval_where("s LIKE 'ab%'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_where("x + 5 = 15"), Value::Bool(true));
+        assert_eq!(eval_where("x * 2 = 20"), Value::Bool(true));
+        assert_eq!(eval_where("x / 0 = 1"), Value::Null);
+        assert_eq!(eval_where("x % 3 = 1"), Value::Bool(true));
+        assert_eq!(eval_where("-x = 0 - 10"), Value::Bool(true));
+    }
+
+    #[test]
+    fn mixed_int_float_arithmetic() {
+        assert_eq!(eval_where("x + 0.5 = 10.5"), Value::Bool(true));
+    }
+
+    #[test]
+    fn unbound_param_is_error() {
+        let (_db, binder, row) = setup();
+        let stmt = parse_statement("SELECT id FROM t WHERE x = ?").unwrap();
+        let pred = match stmt {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        let rows = [Some(&row)];
+        let env = Env::new(&rows);
+        assert!(eval(&pred, &binder, &env).is_err());
+    }
+
+    #[test]
+    fn is_true_rejects_null() {
+        assert!(is_true(&Value::Bool(true)));
+        assert!(!is_true(&Value::Bool(false)));
+        assert!(!is_true(&Value::Null));
+    }
+}

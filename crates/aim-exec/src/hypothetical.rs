@@ -1,0 +1,192 @@
+//! Dataless (hypothetical / "what-if") indexes, §III-A4 of the paper.
+//!
+//! A dataless index carries only metadata and size estimates — never
+//! entries. The planner treats it exactly like a materialized index when
+//! costing plans, which is how AIM (and the baseline advisors) evaluate a
+//! candidate configuration without paying the build cost. This mirrors the
+//! role HypoPG plays for PostgreSQL in the paper's experiments.
+
+use aim_storage::{Database, IndexDef, TableStats};
+
+/// A hypothetical index: definition plus estimated physical footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypotheticalIndex {
+    pub def: IndexDef,
+    /// Estimated average entry width (key columns + PK suffix + overhead).
+    pub entry_width: f64,
+    /// Estimated total size in bytes, comparable with
+    /// `SecondaryIndex::size_bytes` so budget arithmetic is consistent
+    /// between hypothetical and materialized configurations.
+    pub size_bytes: u64,
+}
+
+impl HypotheticalIndex {
+    /// Builds a hypothetical index from table statistics. Unknown columns
+    /// fall back to the schema's declared average width.
+    pub fn build(db: &Database, def: IndexDef) -> Option<Self> {
+        let table = db.table(&def.table).ok()?;
+        let schema = table.schema();
+        // Verify every key column exists.
+        for c in &def.columns {
+            schema.column_index(c)?;
+        }
+        let stats = db.stats(&def.table);
+        let row_count = table.row_count() as u64;
+
+        let col_width = |name: &str| -> f64 {
+            stats
+                .and_then(|s: &TableStats| s.column(name))
+                .map(|c| c.avg_width)
+                .or_else(|| schema.column(name).map(|c| f64::from(c.avg_width)))
+                .unwrap_or(8.0)
+        };
+
+        let key_width: f64 = def.columns.iter().map(|c| col_width(c)).sum();
+        let pk_width: f64 = schema
+            .primary_key_names()
+            .iter()
+            .map(|c| col_width(c))
+            .sum();
+        const ENTRY_OVERHEAD: f64 = 12.0;
+        let entry_width = key_width + pk_width + ENTRY_OVERHEAD;
+        // Same 4/3 structural factor as materialized indexes.
+        let size_bytes = (row_count as f64 * entry_width * 4.0 / 3.0) as u64;
+        Some(Self {
+            def,
+            entry_width,
+            size_bytes,
+        })
+    }
+
+    /// Index width (number of key columns).
+    pub fn width(&self) -> usize {
+        self.def.columns.len()
+    }
+}
+
+/// A what-if configuration: a set of hypothetical indexes overlaid on
+/// whatever is already materialized in the database.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HypoConfig {
+    pub indexes: Vec<HypotheticalIndex>,
+    /// If false, the planner ignores materialized secondary indexes and
+    /// sees *only* the hypothetical ones (used when advisors evaluate
+    /// configurations from scratch on an unindexed database).
+    pub include_materialized: bool,
+}
+
+impl HypoConfig {
+    /// Empty configuration that still sees materialized indexes.
+    pub fn none() -> Self {
+        Self {
+            indexes: Vec::new(),
+            include_materialized: true,
+        }
+    }
+
+    /// Configuration of only the given hypothetical indexes.
+    pub fn only(indexes: Vec<HypotheticalIndex>) -> Self {
+        Self {
+            indexes,
+            include_materialized: false,
+        }
+    }
+
+    /// Total estimated size of the hypothetical indexes.
+    pub fn total_size_bytes(&self) -> u64 {
+        self.indexes.iter().map(|h| h.size_bytes).sum()
+    }
+
+    /// Hypothetical indexes on a given table.
+    pub fn for_table<'a>(&'a self, table: &'a str) -> impl Iterator<Item = (usize, &'a HypotheticalIndex)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(move |(_, h)| h.def.table == table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema, Value};
+
+    fn db_with_rows(n: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("s", ColumnType::Str),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..n {
+            db.table_mut("t")
+                .unwrap()
+                .insert(
+                    vec![Value::Int(i), Value::Int(i % 7), Value::Str("x".repeat(10))],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    #[test]
+    fn size_scales_with_rows_and_width() {
+        let db = db_with_rows(1000);
+        let narrow =
+            HypotheticalIndex::build(&db, IndexDef::new("h1", "t", vec!["a".into()])).unwrap();
+        let wide = HypotheticalIndex::build(
+            &db,
+            IndexDef::new("h2", "t", vec!["a".into(), "s".into()]),
+        )
+        .unwrap();
+        assert!(wide.size_bytes > narrow.size_bytes);
+        assert_eq!(wide.width(), 2);
+    }
+
+    #[test]
+    fn hypothetical_size_close_to_materialized() {
+        let mut db = db_with_rows(2000);
+        let hypo =
+            HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
+        let mut io = IoStats::new();
+        db.create_index(IndexDef::new("real", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        let real = db.table("t").unwrap().index("real").unwrap().size_bytes();
+        let ratio = hypo.size_bytes as f64 / real as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let db = db_with_rows(10);
+        assert!(HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["nope".into()]))
+            .is_none());
+        assert!(
+            HypotheticalIndex::build(&db, IndexDef::new("h", "missing", vec!["a".into()]))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn config_helpers() {
+        let db = db_with_rows(100);
+        let h = HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
+        let size = h.size_bytes;
+        let cfg = HypoConfig::only(vec![h]);
+        assert!(!cfg.include_materialized);
+        assert_eq!(cfg.total_size_bytes(), size);
+        assert_eq!(cfg.for_table("t").count(), 1);
+        assert_eq!(cfg.for_table("other").count(), 0);
+    }
+}

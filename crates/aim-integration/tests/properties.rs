@@ -1,0 +1,463 @@
+//! Property-based tests over the core invariants.
+
+use aim_core::partial_order::{merge_partial_orders, PartialOrder};
+use aim_exec::Engine;
+use aim_sql::normalize::normalize_statement;
+use aim_sql::parse_statement;
+use aim_storage::{
+    ColumnDef, ColumnType, Database, Histogram, IndexDef, IoStats, TableSchema, Value,
+};
+use proptest::prelude::*;
+use std::ops::Bound;
+
+// ---------------------------------------------------------- partial orders
+
+/// Strategy: a partial order over a subset of col0..col5.
+fn partial_order_strategy() -> impl Strategy<Value = PartialOrder> {
+    proptest::collection::vec(proptest::collection::btree_set(0usize..6, 1..4), 1..4).prop_map(
+        |parts| {
+            // Make partitions disjoint by removing earlier-seen columns.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut clean: Vec<Vec<String>> = Vec::new();
+            for p in parts {
+                let fresh: Vec<String> = p
+                    .into_iter()
+                    .filter(|c| seen.insert(*c))
+                    .map(|c| format!("col{c}"))
+                    .collect();
+                if !fresh.is_empty() {
+                    clean.push(fresh);
+                }
+            }
+            PartialOrder::new(clean).expect("disjoint by construction")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_result_satisfies_both_inputs(p in partial_order_strategy(), q in partial_order_strategy()) {
+        if let Some(m) = p.merge_pairwise(&q) {
+            // Same column set as Q.
+            prop_assert_eq!(m.columns(), q.columns());
+            let total = m.total_order();
+            prop_assert!(m.is_satisfied_by(&total));
+            // P's columns form a prefix of the merged order.
+            let p_cols = p.columns();
+            let prefix: std::collections::BTreeSet<String> =
+                total[..p_cols.len()].iter().cloned().collect();
+            prop_assert_eq!(&prefix, &p_cols);
+            // Pairwise orderings of both inputs are respected.
+            for a in &p_cols {
+                for b in &p_cols {
+                    if p.precedes(a, b) {
+                        prop_assert!(!m.precedes(b, a), "merge broke {a} < {b} from P");
+                    }
+                }
+            }
+            let q_cols = q.columns();
+            for a in &q_cols {
+                for b in &q_cols {
+                    if q.precedes(a, b) {
+                        prop_assert!(!m.precedes(b, a), "merge broke {a} < {b} from Q");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_self_is_identity(p in partial_order_strategy()) {
+        let m = p.merge_pairwise(&p).expect("self-merge always allowed");
+        prop_assert_eq!(m, p);
+    }
+
+    #[test]
+    fn merge_closure_terminates_and_contains_inputs(
+        orders in proptest::collection::vec(partial_order_strategy(), 1..5)
+    ) {
+        let merged = merge_partial_orders(&orders, true);
+        for o in &orders {
+            prop_assert!(merged.contains(o), "closure lost an input order");
+        }
+        // Fixed point: merging again adds nothing.
+        let again = merge_partial_orders(&merged, true);
+        prop_assert_eq!(again.len(), merged.len());
+    }
+
+    #[test]
+    fn total_order_always_satisfies(p in partial_order_strategy()) {
+        prop_assert!(p.is_satisfied_by(&p.total_order()));
+        prop_assert_eq!(p.total_order().len(), p.width());
+    }
+}
+
+// ------------------------------------------------------------- normalizer
+
+proptest! {
+    #[test]
+    fn fingerprint_invariant_under_literals(a in 0i64..1000, b in 0i64..1000, s in "[a-z]{1,8}") {
+        let q1 = format!("SELECT id FROM t WHERE x = {a} AND y > {b} AND z = '{s}'");
+        let q2 = "SELECT id FROM t WHERE x = 0 AND y > 0 AND z = 'zz'";
+        let f1 = normalize_statement(&parse_statement(&q1).expect("valid")).fingerprint;
+        let f2 = normalize_statement(&parse_statement(q2).expect("valid")).fingerprint;
+        prop_assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn parse_display_roundtrip_stable(a in 0i64..100, b in 0i64..100) {
+        let sql = format!(
+            "SELECT x, COUNT(*) FROM t WHERE a = {a} AND (b > {b} OR c IN (1, 2)) \
+             GROUP BY x ORDER BY x ASC LIMIT 5"
+        );
+        let stmt = parse_statement(&sql).expect("valid");
+        let reparsed = parse_statement(&stmt.to_string()).expect("display is parseable");
+        prop_assert_eq!(stmt, reparsed);
+    }
+}
+
+// ------------------------------------------------------------- histograms
+
+proptest! {
+    #[test]
+    fn histogram_mass_conserved(mut values in proptest::collection::vec(-500i64..500, 1..300)) {
+        values.sort();
+        let vals: Vec<Value> = values.iter().map(|v| Value::Int(*v)).collect();
+        let h = Histogram::build(&vals, 16);
+        prop_assert_eq!(h.total(), vals.len() as u64);
+        // Full-range estimate recovers (approximately) everything.
+        let est = h.estimate_range(Bound::Unbounded, Bound::Unbounded);
+        prop_assert!((est - vals.len() as f64).abs() < 1.0 + vals.len() as f64 * 0.1);
+    }
+
+    #[test]
+    fn histogram_eq_estimate_bounded(mut values in proptest::collection::vec(0i64..50, 1..200), probe in 0i64..50) {
+        values.sort();
+        let vals: Vec<Value> = values.iter().map(|v| Value::Int(*v)).collect();
+        let h = Histogram::build(&vals, 8);
+        let est = h.estimate_eq(&Value::Int(probe));
+        prop_assert!(est >= 0.0);
+        prop_assert!(est <= vals.len() as f64);
+    }
+}
+
+// ------------------------------------- executor: index/scan equivalence
+
+/// One random conjunctive predicate over (a, b, c).
+#[derive(Debug, Clone)]
+struct Pred {
+    col: &'static str,
+    op: &'static str,
+    val: i64,
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        prop_oneof![Just("="), Just(">"), Just("<"), Just(">="), Just("<=")],
+        0i64..30,
+    )
+        .prop_map(|(col, op, val)| Pred { col, op, val })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn indexed_execution_equals_scan(
+        rows in proptest::collection::vec((0i64..30, 0i64..30, 0i64..30), 1..120),
+        preds in proptest::collection::vec(pred_strategy(), 1..3),
+        index_cols in proptest::collection::btree_set(prop_oneof![Just("a"), Just("b"), Just("c")], 1..3),
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                    ColumnDef::new("c", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .expect("valid"),
+        )
+        .expect("fresh");
+        let mut io = IoStats::new();
+        for (i, (a, b, c)) in rows.iter().enumerate() {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Int(*a),
+                        Value::Int(*b),
+                        Value::Int(*c),
+                    ],
+                    &mut io,
+                )
+                .expect("unique");
+        }
+        db.analyze_all();
+
+        let where_clause: Vec<String> = preds
+            .iter()
+            .map(|p| format!("{} {} {}", p.col, p.op, p.val))
+            .collect();
+        let sql = format!("SELECT id, a, b, c FROM t WHERE {}", where_clause.join(" AND "));
+        let stmt = parse_statement(&sql).expect("valid");
+        let engine = Engine::new();
+
+        let mut base = engine.execute(&mut db, &stmt).expect("executes").rows;
+        base.sort();
+
+        let cols: Vec<String> = index_cols.iter().map(|s| s.to_string()).collect();
+        db.create_index(IndexDef::new("ix", "t", cols), &mut io).expect("valid index");
+        db.analyze_all();
+        let mut indexed = engine.execute(&mut db, &stmt).expect("executes").rows;
+        indexed.sort();
+
+        prop_assert_eq!(base, indexed, "index changed results for {}", sql);
+    }
+
+    #[test]
+    fn or_predicates_unchanged_by_indexes(
+        rows in proptest::collection::vec((0i64..20, 0i64..20), 1..100),
+        v1 in 0i64..20,
+        v2 in 0i64..20,
+        v3 in 0i64..20,
+    ) {
+        // Single-table OR: with per-branch indexes the planner may pick an
+        // index-merge union; results must match the plain scan.
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .expect("valid"),
+        )
+        .expect("fresh");
+        let mut io = IoStats::new();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(
+                    vec![Value::Int(i as i64), Value::Int(*a), Value::Int(*b)],
+                    &mut io,
+                )
+                .expect("unique");
+        }
+        db.analyze_all();
+        let engine = Engine::new();
+        let sql = format!(
+            "SELECT id FROM t WHERE (a = {v1} AND b = {v2}) OR b = {v3}"
+        );
+        let stmt = parse_statement(&sql).expect("valid");
+        let mut base = engine.execute(&mut db, &stmt).expect("executes").rows;
+        base.sort();
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .expect("valid");
+        db.create_index(IndexDef::new("ix_b", "t", vec!["b".into()]), &mut io)
+            .expect("valid");
+        db.analyze_all();
+        let mut indexed = engine.execute(&mut db, &stmt).expect("executes").rows;
+        indexed.sort();
+        prop_assert_eq!(base, indexed);
+    }
+
+    #[test]
+    fn order_by_limit_agrees_with_full_sort(
+        rows in proptest::collection::vec((0i64..50, 0i64..50), 1..100),
+        limit in 1usize..20,
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .expect("valid"),
+        )
+        .expect("fresh");
+        let mut io = IoStats::new();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(
+                    vec![Value::Int(i as i64), Value::Int(*a), Value::Int(*b)],
+                    &mut io,
+                )
+                .expect("unique");
+        }
+        db.analyze_all();
+        let engine = Engine::new();
+        let sql = format!("SELECT a, id FROM t ORDER BY a LIMIT {limit}");
+        let stmt = parse_statement(&sql).expect("valid");
+        let plain = engine.execute(&mut db, &stmt).expect("executes").rows;
+        // With an order-providing index: early-termination path.
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .expect("valid index");
+        db.analyze_all();
+        let fast = engine.execute(&mut db, &stmt).expect("executes").rows;
+        // `a` values must match position-wise (ties may reorder ids).
+        prop_assert_eq!(plain.len(), fast.len());
+        for (p, f) in plain.iter().zip(&fast) {
+            prop_assert_eq!(&p[0], &f[0]);
+        }
+    }
+}
+
+// --------------------------------------------------------------- knapsack
+
+proptest! {
+    #[test]
+    fn storage_accounting_is_consistent(
+        n_rows in 1usize..200,
+    ) {
+        // Materialized size tracking must stay consistent through
+        // insert/create/drop cycles.
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .expect("valid"),
+        )
+        .expect("fresh");
+        let mut io = IoStats::new();
+        for i in 0..n_rows as i64 {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(vec![Value::Int(i), Value::Int(i % 7)], &mut io)
+                .expect("unique");
+        }
+        prop_assert_eq!(db.total_secondary_index_bytes(), 0);
+        db.create_index(IndexDef::new("ix", "t", vec!["a".into()]), &mut io)
+            .expect("valid index");
+        let size = db.total_secondary_index_bytes();
+        prop_assert!(size > 0);
+        db.drop_index("t", "ix").expect("exists");
+        prop_assert_eq!(db.total_secondary_index_bytes(), 0);
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,120}") {
+        // Any input must produce Ok or Err — never a panic.
+        let _ = parse_statement(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_like_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("FROM".to_string()),
+                Just("WHERE".to_string()), Just("AND".to_string()),
+                Just("OR".to_string()), Just("GROUP".to_string()),
+                Just("BY".to_string()), Just("ORDER".to_string()),
+                Just("LIMIT".to_string()), Just("(".to_string()),
+                Just(")".to_string()), Just(",".to_string()),
+                Just("=".to_string()), Just(">".to_string()),
+                Just("t".to_string()), Just("x".to_string()),
+                Just("1".to_string()), Just("'s'".to_string()),
+                Just("*".to_string()), Just("IN".to_string()),
+                Just("NOT".to_string()), Just("NULL".to_string()),
+            ],
+            0..25,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = parse_statement(&sql);
+    }
+}
+
+// ------------------------------------------------------ prepared statements
+
+proptest! {
+    #[test]
+    fn bind_then_normalize_roundtrips(a in -1000i64..1000, b in -1000i64..1000, s in "[a-z]{1,6}") {
+        use aim_exec::{bind_params, param_count};
+        use aim_sql::normalize::normalize_statement;
+        let stmt = parse_statement(
+            "SELECT id FROM t WHERE x = ? AND y > ? AND z = ? ORDER BY id LIMIT 3",
+        ).expect("valid");
+        prop_assert_eq!(param_count(&stmt), 3);
+        let bound = bind_params(
+            &stmt,
+            &[Value::Int(a), Value::Int(b), Value::Str(s)],
+        ).expect("binds");
+        // Normalizing the bound statement recovers the prepared fingerprint.
+        prop_assert_eq!(
+            normalize_statement(&bound).fingerprint,
+            normalize_statement(&stmt).fingerprint
+        );
+        // And binding is exact: the bound text contains the literal values.
+        prop_assert!(bound.to_string().contains(&a.to_string()));
+    }
+}
+
+// ----------------------------------------------------------- sampled clones
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn sample_is_subset_and_monotone(
+        n_rows in 10i64..400,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .expect("valid"),
+        )
+        .expect("fresh");
+        let mut io = IoStats::new();
+        for i in 0..n_rows {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(vec![Value::Int(i), Value::Int(i % 5)], &mut io)
+                .expect("unique");
+        }
+        let s = db.sample(fraction, seed);
+        let k = s.table("t").expect("exists").row_count();
+        prop_assert!(k <= n_rows as usize);
+        // Every sampled row exists in the source (subset property).
+        let mut io2 = IoStats::new();
+        for row in s.table("t").expect("exists").scan_all(&mut io2) {
+            let pk = vec![row[0].clone()];
+            let mut io3 = IoStats::new();
+            prop_assert!(db.table("t").expect("exists").pk_lookup(&pk, &mut io3).is_some());
+        }
+        // Same seed, same sample.
+        let s2 = db.sample(fraction, seed);
+        prop_assert_eq!(k, s2.table("t").expect("exists").row_count());
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload monitoring and representative workload selection (§III-C).
+//!
+//! The monitor aggregates per-execution statistics under each query's
+//! normalized fingerprint — executions, CPU, rows read/sent, indexes used —
+//! standing in for the paper's continuous statistics-export pipeline
+//! (§VII-A). From the aggregate it computes each query's *discarded data
+//! ratio* and the optimistic expected benefit
+//!
+//! ```text
+//! B(q, X, Δt) = (1 − ddr_avg(q, X, Δt)) · cpu_avg(q, X, Δt)      (Eq. 5)
+//! ```
+//!
+//! and selects the representative workload: the queries whose expected
+//! benefit clears a configurable threshold, ordered most-beneficial first.
+
+pub mod selection;
+pub mod stats;
+
+pub use selection::{select_workload, SelectionConfig, WorkloadQuery};
+pub use stats::{IndexUse, QueryStats, WorkloadMonitor};

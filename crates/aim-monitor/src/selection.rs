@@ -1,0 +1,222 @@
+//! Representative workload selection (§III-C of the paper).
+//!
+//! Three attributes drive selection per normalized query: execution
+//! frequency (weeds out ad-hoc one-offs), average CPU consumption, and the
+//! discarded-data ratio. The latter two combine into the optimistic
+//! expected benefit of Eq. 5, thresholded to pick the queries worth tuning.
+
+use crate::stats::{QueryStats, WorkloadMonitor};
+
+/// Thresholds controlling representative workload selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionConfig {
+    /// Minimum executions in the window; filters spurious ad-hoc queries.
+    pub min_executions: u64,
+    /// Minimum expected benefit `B` (Eq. 5) in cost units per execution.
+    /// The paper's example threshold is 1/20 of a CPU core over the window.
+    pub min_benefit: f64,
+    /// Cap on the number of queries selected (the paper notes the top few
+    /// expensive queries account for most CPU).
+    pub max_queries: usize,
+    /// Include DML statements in the returned workload (they contribute
+    /// index-maintenance cost and can benefit from indexes on their WHERE
+    /// clauses).
+    pub include_dml: bool,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            min_executions: 2,
+            min_benefit: 1.0,
+            max_queries: 50,
+            include_dml: true,
+        }
+    }
+}
+
+/// A query selected into the representative workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub stats: QueryStats,
+    /// Expected benefit `B(q, X, Δt)` at selection time.
+    pub benefit: f64,
+    /// Workload weight `w_q` (total CPU over the window).
+    pub weight: f64,
+}
+
+/// Selects the representative workload: SELECT queries ordered by
+/// descending expected benefit, thresholded per `config`, plus (optionally)
+/// all recurring DML so maintenance costs are visible to ranking.
+pub fn select_workload(monitor: &WorkloadMonitor, config: &SelectionConfig) -> Vec<WorkloadQuery> {
+    let mut chosen: Vec<WorkloadQuery> = Vec::new();
+    let mut dml: Vec<WorkloadQuery> = Vec::new();
+    for q in monitor.queries() {
+        if q.executions < config.min_executions {
+            continue;
+        }
+        if q.is_dml() {
+            if config.include_dml {
+                dml.push(WorkloadQuery {
+                    stats: q.clone(),
+                    benefit: 0.0,
+                    weight: q.weight(),
+                });
+            }
+            continue;
+        }
+        let benefit = q.expected_benefit();
+        if benefit < config.min_benefit {
+            continue;
+        }
+        chosen.push(WorkloadQuery {
+            stats: q.clone(),
+            benefit,
+            weight: q.weight(),
+        });
+    }
+    chosen.sort_by(|a, b| b.benefit.total_cmp(&a.benefit));
+    chosen.truncate(config.max_queries);
+    chosen.extend(dml);
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_exec::Engine;
+    use aim_sql::parse_statement;
+    use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+
+    fn setup() -> (Database, WorkloadMonitor) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("b", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..2000 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(
+                    vec![Value::Int(i), Value::Int(i % 10), Value::Int(i % 100)],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.analyze_all();
+        (db, WorkloadMonitor::new())
+    }
+
+    fn record_n(m: &mut WorkloadMonitor, db: &mut Database, sql: &str, n: usize) {
+        let engine = Engine::new();
+        let stmt = parse_statement(sql).unwrap();
+        for _ in 0..n {
+            let out = engine.execute(db, &stmt).unwrap();
+            m.record(&stmt, &out);
+        }
+    }
+
+    #[test]
+    fn selects_inefficient_query_first() {
+        let (mut db, mut m) = setup();
+        // Inefficient: scans 2000 rows, returns ~20.
+        record_n(&mut m, &mut db, "SELECT id FROM t WHERE b = 5", 10);
+        // Efficient: PK point lookup.
+        record_n(&mut m, &mut db, "SELECT id FROM t WHERE id = 5", 10);
+        let selected = select_workload(&m, &SelectionConfig::default());
+        assert!(!selected.is_empty());
+        assert!(selected[0].stats.normalized_text.contains("b = ?"));
+        // The PK lookup should not be selected (benefit below threshold).
+        assert!(selected
+            .iter()
+            .all(|q| !q.stats.normalized_text.contains("id = ?")));
+    }
+
+    #[test]
+    fn frequency_threshold_weeds_out_ad_hoc() {
+        let (mut db, mut m) = setup();
+        record_n(&mut m, &mut db, "SELECT id FROM t WHERE b = 5", 1);
+        let selected = select_workload(
+            &m,
+            &SelectionConfig {
+                min_executions: 2,
+                ..Default::default()
+            },
+        );
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn max_queries_caps_selection() {
+        let (mut db, mut m) = setup();
+        for col in ["a", "b"] {
+            for v in 0..3 {
+                record_n(
+                    &mut m,
+                    &mut db,
+                    &format!("SELECT id FROM t WHERE {col} = {v} AND b > {v}"),
+                    3,
+                );
+            }
+        }
+        let selected = select_workload(
+            &m,
+            &SelectionConfig {
+                max_queries: 1,
+                min_benefit: 0.0,
+                include_dml: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(selected.len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_by_descending_benefit() {
+        let (mut db, mut m) = setup();
+        record_n(&mut m, &mut db, "SELECT id FROM t WHERE b = 5", 20);
+        record_n(&mut m, &mut db, "SELECT id FROM t WHERE a = 5 AND b = 5", 2);
+        let selected = select_workload(
+            &m,
+            &SelectionConfig {
+                min_benefit: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(selected.len() >= 2);
+        for w in selected.windows(2) {
+            if !w[0].stats.is_dml() && !w[1].stats.is_dml() {
+                assert!(w[0].benefit >= w[1].benefit);
+            }
+        }
+    }
+
+    #[test]
+    fn dml_included_with_zero_benefit() {
+        let (mut db, mut m) = setup();
+        record_n(&mut m, &mut db, "UPDATE t SET b = 1 WHERE id = 3", 5);
+        let selected = select_workload(&m, &SelectionConfig::default());
+        assert_eq!(selected.len(), 1);
+        assert!(selected[0].stats.is_dml());
+        assert_eq!(selected[0].benefit, 0.0);
+
+        let without = select_workload(
+            &m,
+            &SelectionConfig {
+                include_dml: false,
+                ..Default::default()
+            },
+        );
+        assert!(without.is_empty());
+    }
+}

@@ -1,0 +1,779 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The tree is deliberately flat and explicit: AIM's candidate generation
+//! (crate `aim-core`) walks it to extract column-usage metadata (which
+//! operation each column participates in, with which operator) and the join
+//! graph — the "structural metadata" of Table I in the paper.
+
+use std::fmt;
+
+/// A possibly table-qualified column reference (`t.col` or `col`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{}.{}", t, self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Literal values, including the `?` parameter placeholder produced both by
+/// user input and by query normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `?` placeholder.
+    Param,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+            Literal::Param => write!(f, "?"),
+        }
+    }
+}
+
+/// Binary operators appearing in scalar expressions and predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Eq,
+    /// MySQL `<=>`: equality that treats two NULLs as equal.
+    NullSafeEq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// True for comparison (predicate) operators, false for arithmetic.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::NullSafeEq
+                | BinOp::NotEq
+                | BinOp::Lt
+                | BinOp::LtEq
+                | BinOp::Gt
+                | BinOp::GtEq
+        )
+    }
+
+    /// True for operators that, per §IV-B2 of the paper, make the predicate
+    /// an *index prefix predicate* when the other side is a constant: the
+    /// matching rows share a constant prefix in an index on the column.
+    pub fn is_prefix_compatible(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::NullSafeEq)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::NullSafeEq => "<=>",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate function names supported in projections and HAVING.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Scalar expressions and predicates.
+///
+/// AND/OR are n-ary so that predicate *chains* keep their grouping — the
+/// factorization step of candidate generation (Algorithm 5) needs the
+/// AND-OR chain structure, not a binary tree of unknown associativity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Literal),
+    /// N-ary conjunction; always has >= 2 children after parsing.
+    And(Vec<Expr>),
+    /// N-ary disjunction; always has >= 2 children after parsing.
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Aggregate {
+        func: AggFunc,
+        /// `None` encodes `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    /// Unary numeric negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Builds an n-ary AND, flattening nested ANDs and eliding singletons.
+    pub fn and(parts: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Expr::And(children) => flat.extend(children),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// Builds an n-ary OR, flattening nested ORs and eliding singletons.
+    pub fn or(parts: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Expr::Or(children) => flat.extend(children),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Convenience constructor for `column op literal`.
+    pub fn cmp(col: ColumnRef, op: BinOp, lit: Literal) -> Expr {
+        Expr::Binary {
+            left: Box::new(Expr::Column(col)),
+            op,
+            right: Box::new(Expr::Literal(lit)),
+        }
+    }
+
+    /// Collects every column referenced anywhere inside this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::And(children) | Expr::Or(children) => {
+                for c in children {
+                    c.referenced_columns(out);
+                }
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.referenced_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.referenced_columns(out);
+                pattern.referenced_columns(out);
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// True if the expression contains any aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::And(children) => write_joined(f, children, " AND ", true),
+            Expr::Or(children) => write_joined(f, children, " OR ", true),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Binary { left, op, right } => write!(f, "{left} {op} {right}"),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                write_joined(f, list, ", ", false)?;
+                write!(f, ")")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => match arg {
+                Some(a) => write!(
+                    f,
+                    "{func}({}{a})",
+                    if *distinct { "DISTINCT " } else { "" }
+                ),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+fn write_joined(
+    f: &mut fmt::Formatter<'_>,
+    items: &[Expr],
+    sep: &str,
+    parens: bool,
+) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        // Parenthesise nested boolean connectives so precedence survives a
+        // print/parse round trip.
+        let needs_parens = parens && matches!(item, Expr::And(_) | Expr::Or(_));
+        if needs_parens {
+            write!(f, "({item})")?;
+        } else {
+            write!(f, "{item}")?;
+        }
+    }
+    Ok(())
+}
+
+/// One item of a SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => write!(f, "{expr} AS {a}"),
+                None => write!(f, "{expr}"),
+            },
+        }
+    }
+}
+
+/// A table reference in the FROM list, with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// The name this table instance is referred to by within the query:
+    /// its alias if present, its base name otherwise.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {}", self.name, a),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.expr, if self.desc { "DESC" } else { "ASC" })
+    }
+}
+
+/// A SELECT statement.
+///
+/// Explicit `JOIN ... ON` syntax is normalised at parse time: joined tables
+/// land in `from` and ON predicates are conjoined into `where_clause`. This
+/// gives candidate generation a single predicate tree to factorize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<Expr>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An INSERT statement (`INSERT INTO t (c1, c2) VALUES (...), (...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An UPDATE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (col, val)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{col} = {val}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A DELETE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Column data types for DDL; mirrors `aim-storage`'s type system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    BigInt,
+    Double,
+    Varchar,
+    Boolean,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SqlType::BigInt => "BIGINT",
+            SqlType::Double => "DOUBLE",
+            SqlType::Varchar => "VARCHAR",
+            SqlType::Boolean => "BOOLEAN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A CREATE TABLE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, SqlType)>,
+    /// Clustered primary key columns; must be non-empty.
+    pub primary_key: Vec<String>,
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        for (i, (col, ty)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{col} {ty}")?;
+        }
+        write!(f, ", PRIMARY KEY ({}))", self.primary_key.join(", "))
+    }
+}
+
+/// A CREATE INDEX statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE {}INDEX {} ON {} ({})",
+            if self.unique { "UNIQUE " } else { "" },
+            self.name,
+            self.table,
+            self.columns.join(", ")
+        )
+    }
+}
+
+/// Top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    DropIndex { name: String, table: String },
+}
+
+impl Statement {
+    /// True for statements that modify data (the paper's DML, which incurs
+    /// index-maintenance cost `cost_u`).
+    pub fn is_dml(&self) -> bool {
+        matches!(
+            self,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+        )
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+            Statement::CreateTable(s) => write!(f, "{s}"),
+            Statement::CreateIndex(s) => write!(f, "{s}"),
+            Statement::DropIndex { name, table } => write!(f, "DROP INDEX {name} ON {table}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_nested_conjunctions() {
+        let a = Expr::cmp(ColumnRef::bare("a"), BinOp::Eq, Literal::Int(1));
+        let b = Expr::cmp(ColumnRef::bare("b"), BinOp::Eq, Literal::Int(2));
+        let c = Expr::cmp(ColumnRef::bare("c"), BinOp::Eq, Literal::Int(3));
+        let nested = Expr::and(vec![Expr::and(vec![a.clone(), b.clone()]), c.clone()]);
+        assert_eq!(nested, Expr::And(vec![a, b, c]));
+    }
+
+    #[test]
+    fn and_of_one_is_identity() {
+        let a = Expr::cmp(ColumnRef::bare("a"), BinOp::Eq, Literal::Int(1));
+        assert_eq!(Expr::and(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn referenced_columns_walks_all_positions() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::Column(ColumnRef::bare("x"))),
+            low: Box::new(Expr::Column(ColumnRef::bare("lo"))),
+            high: Box::new(Expr::Column(ColumnRef::bare("hi"))),
+            negated: false,
+        };
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(
+            cols,
+            vec![
+                ColumnRef::bare("x"),
+                ColumnRef::bare("lo"),
+                ColumnRef::bare("hi")
+            ]
+        );
+    }
+
+    #[test]
+    fn display_escapes_string_literals() {
+        let l = Literal::Str("it's".into());
+        assert_eq!(l.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn prefix_compatibility_matches_paper() {
+        assert!(BinOp::Eq.is_prefix_compatible());
+        assert!(BinOp::NullSafeEq.is_prefix_compatible());
+        assert!(!BinOp::Gt.is_prefix_compatible());
+        assert!(!BinOp::LtEq.is_prefix_compatible());
+        assert!(!BinOp::NotEq.is_prefix_compatible());
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
+        assert_eq!(t.binding(), "o");
+        assert_eq!(TableRef::new("orders").binding(), "orders");
+    }
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let agg = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::Column(ColumnRef::bare("x")))),
+            distinct: false,
+        };
+        let wrapped = Expr::Binary {
+            left: Box::new(agg),
+            op: BinOp::Gt,
+            right: Box::new(Expr::Literal(Literal::Int(5))),
+        };
+        assert!(wrapped.contains_aggregate());
+        assert!(!Expr::Column(ColumnRef::bare("x")).contains_aggregate());
+    }
+}

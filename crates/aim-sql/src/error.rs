@@ -1,0 +1,41 @@
+//! Parse-error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// Error produced when lexing or parsing a SQL string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a new error anchored at `offset` bytes into the input.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 7);
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected token");
+    }
+}

@@ -1,0 +1,377 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat token stream; keywords are recognised case-insensitively
+//! and carried as [`Token::Keyword`] with an upper-cased spelling so the
+//! parser can match on them directly.
+
+use crate::error::ParseError;
+
+/// A single lexical token together with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// SQL token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Recognised SQL keyword, upper-cased (`SELECT`, `FROM`, ...).
+    Keyword(String),
+    /// Identifier (table, column, alias, function name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal with quotes removed and escapes resolved.
+    Str(String),
+    /// `?` parameter placeholder.
+    Param,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `<=>` MySQL null-safe equality.
+    NullSafeEq,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Keywords recognised by the lexer. Anything else becomes an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET", "AS", "AND",
+    "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "ASC", "DESC", "JOIN",
+    "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY", "DROP", "DISTINCT",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+];
+
+/// Lexes `input` into a token vector terminated by [`Token::Eof`].
+pub fn lex(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => push(&mut tokens, Token::Comma, &mut i),
+            b'.' => push(&mut tokens, Token::Dot, &mut i),
+            b'(' => push(&mut tokens, Token::LParen, &mut i),
+            b')' => push(&mut tokens, Token::RParen, &mut i),
+            b';' => push(&mut tokens, Token::Semicolon, &mut i),
+            b'*' => push(&mut tokens, Token::Star, &mut i),
+            b'+' => push(&mut tokens, Token::Plus, &mut i),
+            b'-' => push(&mut tokens, Token::Minus, &mut i),
+            b'/' => push(&mut tokens, Token::Slash, &mut i),
+            b'%' => push(&mut tokens, Token::Percent, &mut i),
+            b'?' => push(&mut tokens, Token::Param, &mut i),
+            b'=' => push(&mut tokens, Token::Eq, &mut i),
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected character '!'", i));
+                }
+            }
+            b'<' => {
+                if input[i..].starts_with("<=>") {
+                    tokens.push(SpannedToken {
+                        token: Token::NullSafeEq,
+                        offset: i,
+                    });
+                    i += 3;
+                } else if input[i..].starts_with("<=") {
+                    tokens.push(SpannedToken {
+                        token: Token::LtEq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else if input[i..].starts_with("<>") {
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut tokens, Token::Lt, &mut i);
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::GtEq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut tokens, Token::Gt, &mut i);
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(SpannedToken {
+                    token: Token::Str(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            b'`' | b'"' => {
+                let (s, next) = lex_quoted_ident(input, i, c as char)?;
+                tokens.push(SpannedToken {
+                    token: Token::Ident(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(SpannedToken {
+                    token: tok,
+                    offset: i,
+                });
+                i = next;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i] == b'$' || bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(SpannedToken {
+                        token: Token::Keyword(upper),
+                        offset: start,
+                    });
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Ident(word.to_string()),
+                        offset: start,
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", other as char),
+                    i,
+                ));
+            }
+        }
+    }
+
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<SpannedToken>, token: Token, i: &mut usize) {
+    tokens.push(SpannedToken { token, offset: *i });
+    *i += 1;
+}
+
+/// Lexes a single-quoted string starting at `start` (which must be a quote).
+/// Supports `''` escaping of embedded quotes.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(ParseError::new("unterminated string literal", start))
+}
+
+fn lex_quoted_ident(input: &str, start: usize, quote: char) -> Result<(String, usize), ParseError> {
+    let rest = &input[start + 1..];
+    match rest.find(quote) {
+        Some(end) => Ok((rest[..end].to_string(), start + 1 + end + 1)),
+        None => Err(ParseError::new("unterminated quoted identifier", start)),
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (Token::Float(v), i))
+            .map_err(|_| ParseError::new("invalid float literal", start))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|_| ParseError::new("integer literal out of range", start))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Token> {
+        lex(sql).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = kinds("SELECT a FROM t WHERE x = 1");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Keyword("WHERE".into()),
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = kinds("select A from B");
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[2], Token::Keyword("FROM".into()));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("<= >= <> != < > = <=>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::LtEq,
+                Token::GtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::NullSafeEq,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escaped_quote() {
+        let toks = kinds("'it''s'");
+        assert_eq!(toks[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = kinds("42 3.5 1e3 2.5e-2");
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Float(3.5));
+        assert_eq!(toks[2], Token::Float(1e3));
+        assert_eq!(toks[3], Token::Float(2.5e-2));
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers() {
+        let toks = kinds("`order` \"select\"");
+        assert_eq!(toks[0], Token::Ident("order".into()));
+        assert_eq!(toks[1], Token::Ident("select".into()));
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let toks = kinds("SELECT -- comment here\n 1");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("SELECT #").is_err());
+    }
+
+    #[test]
+    fn param_placeholder() {
+        assert_eq!(kinds("?")[0], Token::Param);
+    }
+}

@@ -1,0 +1,307 @@
+//! The database: a catalog of tables with their indexes and statistics.
+
+use crate::error::StorageError;
+use crate::io::IoStats;
+use crate::schema::{IndexDef, TableSchema};
+use crate::stats::{analyze, TableStats, DEFAULT_BUCKETS};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// An in-memory database instance.
+///
+/// `Database` is `Clone`: cloning produces the logical copy that the paper's
+/// MyShadow framework provides (§VII-B) — a test instance on which candidate
+/// indexes are materialized and traffic replayed without touching
+/// "production".
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    stats: BTreeMap<String, TableStats>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StorageError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(StorageError::DuplicateTable(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Immutable table lookup.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup. Invalidate statistics after bulk changes via
+    /// [`Database::analyze_table`].
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Creates and populates a secondary index.
+    pub fn create_index(&mut self, def: IndexDef, io: &mut IoStats) -> Result<(), StorageError> {
+        let table = self.table_mut(&def.table.clone())?;
+        table.create_index(def, io)
+    }
+
+    /// Drops a secondary index by name.
+    pub fn drop_index(&mut self, table: &str, index: &str) -> Result<IndexDef, StorageError> {
+        self.table_mut(table)?.drop_index(index)
+    }
+
+    /// All secondary index definitions across all tables.
+    pub fn all_indexes(&self) -> Vec<IndexDef> {
+        self.tables
+            .values()
+            .flat_map(|t| t.indexes().map(|ix| ix.def().clone()))
+            .collect()
+    }
+
+    /// Total size of all secondary indexes in bytes — the quantity checked
+    /// against the storage budget `B` of the tuning problem.
+    pub fn total_secondary_index_bytes(&self) -> u64 {
+        self.tables.values().map(Table::secondary_index_bytes).sum()
+    }
+
+    /// Recomputes statistics for one table.
+    pub fn analyze_table(&mut self, name: &str) -> Result<(), StorageError> {
+        let stats = analyze(self.table(name)?, DEFAULT_BUCKETS);
+        self.stats.insert(name.to_string(), stats);
+        Ok(())
+    }
+
+    /// Recomputes statistics for every table.
+    pub fn analyze_all(&mut self) {
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        for name in names {
+            let stats = analyze(&self.tables[&name], DEFAULT_BUCKETS);
+            self.stats.insert(name, stats);
+        }
+    }
+
+    /// Statistics for a table; empty default if never analyzed.
+    pub fn stats(&self, table: &str) -> Option<&TableStats> {
+        self.stats.get(table)
+    }
+
+    /// Builds an economical test bed: a clone holding a deterministic
+    /// `fraction` sample of every table's rows (secondary indexes are
+    /// rebuilt over the sample; statistics re-analyzed). This is the
+    /// sampling ability of the paper's MyShadow framework (§VII-B).
+    ///
+    /// Sampling is per-row and independent, so foreign-key joins thin out
+    /// quadratically — callers validating join plans should keep the
+    /// fraction moderate.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Database {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut out = Database::new();
+        for table in self.tables.values() {
+            out.create_table(table.schema().clone())
+                .expect("fresh database");
+            let mut io = crate::io::IoStats::new();
+            // Deterministic per-row selection: hash of (seed, table, pk).
+            let mut scan_io = crate::io::IoStats::new();
+            for row in table.scan_all(&mut scan_io) {
+                let pk = table.pk_of(row);
+                let mut h: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
+                for b in table.schema().name.bytes() {
+                    h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(b);
+                }
+                for v in &pk {
+                    h = h.wrapping_mul(0x100_0000_01b3)
+                        ^ crate::stats::value_sample_hash(v);
+                }
+                // Finalize (splitmix64): the last XOR above would
+                // otherwise leave near-constant float-exponent bits in the
+                // high positions.
+                h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                h ^= h >> 31;
+                // Map to [0, 1).
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < fraction {
+                    out.table_mut(&table.schema().name)
+                        .expect("just created")
+                        .insert(row.clone(), &mut io)
+                        .expect("pk unique in source");
+                }
+            }
+            for ix in table.indexes() {
+                out.create_index(ix.def().clone(), &mut io)
+                    .expect("index valid on same schema");
+            }
+        }
+        out.analyze_all();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let db = db();
+        assert!(db.table("t").is_ok());
+        assert!(matches!(
+            db.table("missing"),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", ColumnType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        assert!(matches!(
+            db.create_table(schema),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Int(10)], &mut io)
+            .unwrap();
+        let mut clone = db.clone();
+        clone
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(2), Value::Int(20)], &mut io)
+            .unwrap();
+        assert_eq!(db.table("t").unwrap().row_count(), 1);
+        assert_eq!(clone.table("t").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn index_budget_accounting() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..100 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i * 2)], &mut io)
+                .unwrap();
+        }
+        assert_eq!(db.total_secondary_index_bytes(), 0);
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        assert!(db.total_secondary_index_bytes() > 0);
+        assert_eq!(db.all_indexes().len(), 1);
+        db.drop_index("t", "ix_a").unwrap();
+        assert_eq!(db.total_secondary_index_bytes(), 0);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..4000 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 7)], &mut io)
+                .unwrap();
+        }
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        let s1 = db.sample(0.25, 99);
+        let s2 = db.sample(0.25, 99);
+        let n = s1.table("t").unwrap().row_count();
+        assert_eq!(n, s2.table("t").unwrap().row_count());
+        assert!((700..1300).contains(&n), "sampled {n} of 4000 at 25%");
+        // Indexes rebuilt over the sample.
+        assert_eq!(s1.table("t").unwrap().index("ix_a").unwrap().len(), n);
+        // Statistics re-analyzed.
+        assert_eq!(s1.stats("t").unwrap().row_count, n as u64);
+        // Different seed, different subset (almost surely).
+        let s3 = db.sample(0.25, 7);
+        assert_ne!(
+            s1.table("t").unwrap().data_bytes(),
+            0,
+            "sample not empty"
+        );
+        let _ = s3;
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..100 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i)], &mut io)
+                .unwrap();
+        }
+        assert_eq!(db.sample(0.0, 1).table("t").unwrap().row_count(), 0);
+        assert_eq!(db.sample(1.0, 1).table("t").unwrap().row_count(), 100);
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..10 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 3)], &mut io)
+                .unwrap();
+        }
+        assert!(db.stats("t").is_none());
+        db.analyze_all();
+        let stats = db.stats("t").unwrap();
+        assert_eq!(stats.row_count, 10);
+        assert_eq!(stats.column("a").unwrap().ndv, 3);
+    }
+}

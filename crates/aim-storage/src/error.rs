@@ -1,0 +1,65 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Schema construction failed (empty PK, duplicate columns, ...).
+    InvalidSchema(String),
+    UnknownTable(String),
+    UnknownColumn { table: String, column: String },
+    UnknownIndex { table: String, index: String },
+    DuplicateTable(String),
+    DuplicateIndex { table: String, index: String },
+    /// Primary-key or unique-index violation.
+    DuplicateKey { table: String, key: String },
+    /// Row arity or value type does not match the schema.
+    RowMismatch(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            StorageError::UnknownIndex { table, index } => {
+                write!(f, "unknown index {index} on {table}")
+            }
+            StorageError::DuplicateTable(t) => write!(f, "table {t} already exists"),
+            StorageError::DuplicateIndex { table, index } => {
+                write!(f, "index {index} already exists on {table}")
+            }
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {table}")
+            }
+            StorageError::RowMismatch(msg) => write!(f, "row mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::UnknownTable("t".into()).to_string(),
+            "unknown table t"
+        );
+        assert_eq!(
+            StorageError::UnknownColumn {
+                table: "t".into(),
+                column: "c".into()
+            }
+            .to_string(),
+            "unknown column t.c"
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! Clustered tables.
+//!
+//! A [`Table`] stores rows clustered by primary key (as InnoDB does: the
+//! base table *is* the PK B+-tree) and maintains any number of secondary
+//! indexes. All mutation paths keep the secondary indexes consistent and
+//! charge write I/O, which is what the paper's index-maintenance overhead
+//! term `cost_u(q, i)` (Eq. 8) is computed from.
+
+use crate::error::StorageError;
+use crate::index::SecondaryIndex;
+use crate::io::IoStats;
+use crate::schema::{IndexDef, TableSchema};
+use crate::value::{Key, Row, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A table: clustered rows plus secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<Key, Row>,
+    indexes: BTreeMap<String, SecondaryIndex>,
+    /// Running total of row bytes, for page-count estimation.
+    total_row_bytes: u64,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Self {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            total_row_bytes: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total data bytes of the clustered rows (excluding secondary indexes).
+    pub fn data_bytes(&self) -> u64 {
+        self.total_row_bytes
+    }
+
+    /// The primary key tuple of `row`.
+    pub fn pk_of(&self, row: &Row) -> Key {
+        self.schema
+            .primary_key
+            .iter()
+            .map(|&i| row[i].clone())
+            .collect()
+    }
+
+    // ------------------------------------------------------------- mutation
+
+    /// Inserts a row, maintaining all secondary indexes.
+    pub fn insert(&mut self, row: Row, io: &mut IoStats) -> Result<(), StorageError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(StorageError::RowMismatch(format!(
+                "table {}: expected {} values, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        let pk = self.pk_of(&row);
+        if self.rows.contains_key(&pk) {
+            return Err(StorageError::DuplicateKey {
+                table: self.schema.name.clone(),
+                key: format!("{pk:?}"),
+            });
+        }
+        let bytes: u64 = row.iter().map(Value::storage_size).sum();
+        io.charge_writes(1, bytes);
+        for ix in self.indexes.values_mut() {
+            ix.insert_row(&row);
+            io.charge_writes(1, 64);
+        }
+        self.total_row_bytes += bytes;
+        self.rows.insert(pk, row);
+        Ok(())
+    }
+
+    /// Deletes the row with primary key `pk`; returns it if present.
+    pub fn delete(&mut self, pk: &Key, io: &mut IoStats) -> Option<Row> {
+        let row = self.rows.remove(pk)?;
+        let bytes: u64 = row.iter().map(Value::storage_size).sum();
+        self.total_row_bytes -= bytes;
+        io.charge_writes(1, bytes);
+        for ix in self.indexes.values_mut() {
+            ix.remove_row(&row);
+            io.charge_writes(1, 64);
+        }
+        Some(row)
+    }
+
+    /// Replaces the row with primary key `pk` by `new_row` (same PK).
+    /// Secondary index entries are only rewritten when their key changed.
+    pub fn update(&mut self, pk: &Key, new_row: Row, io: &mut IoStats) -> Result<(), StorageError> {
+        let old = self
+            .rows
+            .get(pk)
+            .cloned()
+            .ok_or_else(|| StorageError::RowMismatch("update of missing row".into()))?;
+        if self.pk_of(&new_row) != *pk {
+            return Err(StorageError::RowMismatch(
+                "update must not change the primary key".into(),
+            ));
+        }
+        let old_bytes: u64 = old.iter().map(Value::storage_size).sum();
+        let new_bytes: u64 = new_row.iter().map(Value::storage_size).sum();
+        io.charge_writes(1, new_bytes);
+        for ix in self.indexes.values_mut() {
+            let before = ix.entry_for_row(&old);
+            let after = ix.entry_for_row(&new_row);
+            if before != after {
+                ix.remove_row(&old);
+                ix.insert_row(&new_row);
+                io.charge_writes(2, 128);
+            }
+        }
+        self.total_row_bytes = self.total_row_bytes - old_bytes + new_bytes;
+        self.rows.insert(pk.clone(), new_row);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- indexes
+
+    /// Creates and populates a secondary index.
+    pub fn create_index(&mut self, def: IndexDef, io: &mut IoStats) -> Result<(), StorageError> {
+        if self.indexes.contains_key(&def.name) {
+            return Err(StorageError::DuplicateIndex {
+                table: self.schema.name.clone(),
+                index: def.name,
+            });
+        }
+        let mut key_positions = Vec::with_capacity(def.columns.len());
+        for col in &def.columns {
+            let pos = self.schema.column_index(col).ok_or_else(|| {
+                StorageError::UnknownColumn {
+                    table: self.schema.name.clone(),
+                    column: col.clone(),
+                }
+            })?;
+            if key_positions.contains(&pos) {
+                return Err(StorageError::InvalidSchema(format!(
+                    "index {}: duplicate key column {col}",
+                    def.name
+                )));
+            }
+            key_positions.push(pos);
+        }
+        let mut ix = SecondaryIndex::new(def, key_positions, self.schema.primary_key.clone());
+        for row in self.rows.values() {
+            ix.insert_row(row);
+        }
+        // Building an index reads the whole table and writes the new tree.
+        io.charge_sequential(self.total_row_bytes);
+        io.charge_writes(self.rows.len() as u64, ix.size_bytes());
+        self.indexes.insert(ix.def().name.clone(), ix);
+        Ok(())
+    }
+
+    /// Drops a secondary index.
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, StorageError> {
+        self.indexes
+            .remove(name)
+            .map(|ix| ix.def().clone())
+            .ok_or_else(|| StorageError::UnknownIndex {
+                table: self.schema.name.clone(),
+                index: name.to_string(),
+            })
+    }
+
+    /// Looks up an index by name.
+    pub fn index(&self, name: &str) -> Option<&SecondaryIndex> {
+        self.indexes.get(name)
+    }
+
+    /// All secondary indexes on this table.
+    pub fn indexes(&self) -> impl Iterator<Item = &SecondaryIndex> {
+        self.indexes.values()
+    }
+
+    /// True if an index with exactly these key columns already exists.
+    pub fn has_index_on(&self, columns: &[String]) -> bool {
+        self.indexes
+            .values()
+            .any(|ix| ix.def().columns == columns)
+    }
+
+    // ---------------------------------------------------------------- scans
+
+    /// Full clustered scan in PK order.
+    pub fn scan_all(&self, io: &mut IoStats) -> impl Iterator<Item = &Row> {
+        io.charge_seek();
+        io.charge_sequential(self.total_row_bytes);
+        io.charge_rows(self.rows.len() as u64);
+        self.rows.values()
+    }
+
+    /// Point lookup by full primary key. Charges one seek.
+    pub fn pk_lookup(&self, pk: &Key, io: &mut IoStats) -> Option<&Row> {
+        io.charge_seek();
+        let row = self.rows.get(pk);
+        if row.is_some() {
+            io.charge_rows(1);
+        }
+        row
+    }
+
+    /// Range scan on a PK *prefix*: all rows whose leading PK columns equal
+    /// `prefix`, refined by an optional range on the next PK column.
+    pub fn pk_range(
+        &self,
+        prefix: &[Value],
+        next_col_range: (Bound<&Value>, Bound<&Value>),
+        io: &mut IoStats,
+    ) -> Vec<&Row> {
+        let (lower, upper) = crate::value::prefix_range_bounds(prefix, next_col_range);
+        io.charge_seek();
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        for row in self.rows.range((lower, upper)).map(|(_, r)| r) {
+            bytes += row.iter().map(Value::storage_size).sum::<u64>();
+            out.push(row);
+        }
+        io.charge_rows(out.len() as u64);
+        if bytes > 0 {
+            io.charge_sequential(bytes);
+        }
+        out
+    }
+
+    /// Lazy variant of [`Table::pk_range`]: iterates matching rows in PK
+    /// order without charging I/O. Early-terminating callers must charge
+    /// per row consumed.
+    pub fn iter_pk_range(
+        &self,
+        prefix: &[Value],
+        next_col_range: (Bound<&Value>, Bound<&Value>),
+    ) -> impl Iterator<Item = &Row> {
+        let (lower, upper) = crate::value::prefix_range_bounds(prefix, next_col_range);
+        self.rows.range((lower, upper)).map(|(_, r)| r)
+    }
+
+    /// Total bytes of all secondary indexes on this table.
+    pub fn secondary_index_bytes(&self) -> u64 {
+        self.indexes.values().map(SecondaryIndex::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("b", ColumnType::Str),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(id: i64, a: i64, b: &str) -> Row {
+        vec![Value::Int(id), Value::Int(a), Value::Str(b.into())]
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+        t.insert(row(2, 20, "y"), &mut io).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert!(t.pk_lookup(&vec![Value::Int(1)], &mut io).is_some());
+        assert!(t.delete(&vec![Value::Int(1)], &mut io).is_some());
+        assert_eq!(t.row_count(), 1);
+        assert!(t.pk_lookup(&vec![Value::Int(1)], &mut io).is_none());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+        assert!(matches!(
+            t.insert(row(1, 99, "z"), &mut io),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)], &mut io),
+            Err(StorageError::RowMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn index_is_maintained_on_insert_and_delete() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+        t.insert(row(2, 20, "y"), &mut io).unwrap();
+        assert_eq!(t.index("ix_a").unwrap().len(), 2);
+        t.delete(&vec![Value::Int(1)], &mut io);
+        assert_eq!(t.index("ix_a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+        t.insert(row(2, 20, "y"), &mut io).unwrap();
+        t.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        assert_eq!(t.index("ix_a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn update_rewrites_only_affected_indexes() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        t.create_index(IndexDef::new("ix_b", "t", vec!["b".into()]), &mut io)
+            .unwrap();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+
+        let mut io2 = IoStats::new();
+        // Change only `a`; ix_b's entry must be untouched.
+        t.update(&vec![Value::Int(1)], row(1, 99, "x"), &mut io2)
+            .unwrap();
+        // 1 row write + 2 entry writes for ix_a only.
+        assert_eq!(io2.rows_written, 3);
+        let mut io3 = IoStats::new();
+        let hits = t.index("ix_a").unwrap().scan_prefix_range(
+            &[Value::Int(99)],
+            (Bound::Unbounded, Bound::Unbounded),
+            &mut io3,
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn update_cannot_change_pk() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.insert(row(1, 10, "x"), &mut io).unwrap();
+        assert!(t
+            .update(&vec![Value::Int(1)], row(2, 10, "x"), &mut io)
+            .is_err());
+    }
+
+    #[test]
+    fn pk_range_scan() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        for i in 1..=10 {
+            t.insert(row(i, i * 10, "r"), &mut io).unwrap();
+        }
+        let lo = Value::Int(3);
+        let hi = Value::Int(6);
+        let rows = t.pk_range(
+            &[],
+            (Bound::Included(&lo), Bound::Excluded(&hi)),
+            &mut IoStats::new(),
+        );
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.create_index(IndexDef::new("ix", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        assert!(matches!(
+            t.create_index(IndexDef::new("ix", "t", vec!["b".into()]), &mut io),
+            Err(StorageError::DuplicateIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn has_index_on_matches_exact_column_list() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.create_index(
+            IndexDef::new("ix", "t", vec!["a".into(), "b".into()]),
+            &mut io,
+        )
+        .unwrap();
+        assert!(t.has_index_on(&["a".into(), "b".into()]));
+        assert!(!t.has_index_on(&["b".into(), "a".into()]));
+        assert!(!t.has_index_on(&["a".into()]));
+    }
+
+    #[test]
+    fn drop_index_removes_it() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        t.create_index(IndexDef::new("ix", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        t.drop_index("ix").unwrap();
+        assert!(t.index("ix").is_none());
+        assert!(t.drop_index("ix").is_err());
+    }
+
+    #[test]
+    fn data_bytes_track_inserts_and_deletes() {
+        let mut t = table();
+        let mut io = IoStats::new();
+        assert_eq!(t.data_bytes(), 0);
+        t.insert(row(1, 10, "hello"), &mut io).unwrap();
+        let b = t.data_bytes();
+        assert!(b > 0);
+        t.delete(&vec![Value::Int(1)], &mut io);
+        assert_eq!(t.data_bytes(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload and data generators for the AIM reproduction.
+//!
+//! * [`datagen`] — deterministic row generators (uniform, Zipf,
+//!   categorical, foreign-key).
+//! * [`tpch`] — scaled-down TPC-H-like schema and the 22 query shapes
+//!   (Figures 4a/4b and 5).
+//! * [`tpcds`] — TPC-DS-like snowflake with two sales channels (the
+//!   paper's third benchmark).
+//! * [`job`] — IMDB-like Join Order Benchmark analogue with 3–7-way joins
+//!   (Figures 4c/4d).
+//! * [`join_heavy`] — the greedy-trap chain/star workload behind the
+//!   join-parameter experiment (Figure 6).
+//! * [`production`] — synthetic production profiles A–G matching the
+//!   metadata of Table II, with a DBA-oracle index set.
+//! * [`replay`] — workload replay against a simulated machine capacity,
+//!   producing the CPU% / throughput time series of Figures 3 and 6.
+
+pub mod datagen;
+pub mod job;
+pub mod join_heavy;
+pub mod production;
+pub mod replay;
+pub mod tpcds;
+pub mod tpch;
+
+pub use datagen::{Distribution, RowGenerator};
+pub use production::{profiles, ProductionProfile, ProductionWorkload, WorkloadType};
+pub use replay::{QuerySpec, Replayer, TickSample};

@@ -1,0 +1,134 @@
+//! Continuous tuning: workload shifts, unused-index garbage collection and
+//! the regression safety net (§VI-D / §VII-C of the paper).
+//!
+//! ```sh
+//! cargo run -p aim-bench --example continuous_tuning --release
+//! ```
+
+use aim_core::continuous::ContinuousTuner;
+use aim_core::driver::{Aim, AimConfig};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "events",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("user_id", ColumnType::Int),
+                ColumnDef::new("kind", ColumnType::Int),
+                ColumnDef::new("ts", ColumnType::Int),
+                ColumnDef::new("payload", ColumnType::Str),
+            ],
+            &["id"],
+        )
+        .expect("valid schema"),
+    )
+    .expect("fresh db");
+    let mut io = IoStats::new();
+    for i in 0..30_000i64 {
+        db.table_mut("events")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 500),
+                    Value::Int(i % 12),
+                    Value::Int(i % 1000),
+                    Value::Str(format!("payload-{i}")),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    db.analyze_all();
+
+    let engine = Engine::new();
+    let mut tuner = ContinuousTuner::new(
+        Aim::new(AimConfig {
+            selection: SelectionConfig {
+                min_executions: 2,
+                min_benefit: 0.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        0.5,
+    );
+    tuner.unused_grace_windows = 2;
+
+    let run_window = |db: &mut Database, queries: &[&str]| -> WorkloadMonitor {
+        let mut monitor = WorkloadMonitor::new();
+        for _ in 0..15 {
+            for q in queries {
+                let stmt = parse_statement(q).expect("valid SQL");
+                let out = engine.execute(db, &stmt).expect("executes");
+                monitor.record(&stmt, &out);
+            }
+        }
+        monitor
+    };
+
+    // Era 1: the app queries by user.
+    let era1 = ["SELECT id, ts FROM events WHERE user_id = 42"];
+    // Era 2: a new feature queries by kind + time; user queries stop.
+    let era2 = ["SELECT id, user_id FROM events WHERE kind = 3 AND ts > 900"];
+
+    println!("era 1 (by-user queries):");
+    for window in 1..=2 {
+        let monitor = run_window(&mut db, &era1);
+        let out = tuner.step(&mut db, &monitor).expect("tuning step");
+        println!(
+            "  window {window}: +{} indexes {:?}, dropped {:?}",
+            out.tuning.created.len(),
+            out.tuning
+                .created
+                .iter()
+                .map(|c| c.def.name.clone())
+                .collect::<Vec<_>>(),
+            out.dropped_unused
+        );
+    }
+
+    println!("era 2 (workload shift to by-kind queries):");
+    for window in 1..=4 {
+        let monitor = run_window(&mut db, &era2);
+        let out = tuner.step(&mut db, &monitor).expect("tuning step");
+        println!(
+            "  window {window}: +{} indexes {:?}, dropped {:?}",
+            out.tuning.created.len(),
+            out.tuning
+                .created
+                .iter()
+                .map(|c| c.def.name.clone())
+                .collect::<Vec<_>>(),
+            out.dropped_unused
+        );
+    }
+
+    println!("\nfinal physical design:");
+    for d in db.all_indexes() {
+        println!("  {}({})", d.table, d.columns.join(", "));
+    }
+    // The era-1 index (leading on user_id) was created, went unused
+    // through era 2's grace period, and was garbage-collected; the era-2
+    // index (leading on kind/ts) remains. Note user_id may still appear
+    // *inside* the era-2 covering index as a projection column.
+    let leading: Vec<String> = db
+        .all_indexes()
+        .iter()
+        .map(|d| d.columns[0].clone())
+        .collect();
+    assert!(
+        leading.iter().all(|c| c != "user_id"),
+        "stale index should have been dropped: {leading:?}"
+    );
+    assert!(
+        leading.iter().any(|c| c == "kind" || c == "ts"),
+        "era-2 index should exist: {leading:?}"
+    );
+}

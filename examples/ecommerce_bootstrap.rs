@@ -1,0 +1,230 @@
+//! Bootstrapping an e-commerce database from zero secondary indexes.
+//!
+//! Models the paper's §VI-A experiment on a realistic multi-table scenario:
+//! orders, customers, products and order_items with joins, aggregates,
+//! ORDER BY ... LIMIT, and a write mix. AIM runs in rounds — the two-phase
+//! behaviour is visible: narrow indexes land first, covering indexes arrive
+//! once the narrow ones are observed with high seek counts.
+//!
+//! ```sh
+//! cargo run -p aim-bench --example ecommerce_bootstrap --release
+//! ```
+
+use aim_core::driver::{Aim, AimConfig};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+
+fn build_shop() -> Database {
+    let mut db = Database::new();
+    let mk = |name: &str, cols: Vec<(&str, ColumnType)>, pk: Vec<&str>| {
+        TableSchema::new(
+            name,
+            cols.into_iter()
+                .map(|(c, t)| ColumnDef::new(c, t))
+                .collect(),
+            &pk,
+        )
+        .expect("valid schema")
+    };
+    use ColumnType::*;
+    db.create_table(mk(
+        "customers",
+        vec![
+            ("id", Int),
+            ("email", Str),
+            ("country", Int),
+            ("tier", Int),
+        ],
+        vec!["id"],
+    ))
+    .expect("fresh db");
+    db.create_table(mk(
+        "products",
+        vec![
+            ("id", Int),
+            ("category", Int),
+            ("price", Float),
+            ("stock", Int),
+        ],
+        vec!["id"],
+    ))
+    .expect("fresh db");
+    db.create_table(mk(
+        "orders",
+        vec![
+            ("id", Int),
+            ("customer_id", Int),
+            ("status", Str),
+            ("placed_at", Int),
+            ("total", Float),
+        ],
+        vec!["id"],
+    ))
+    .expect("fresh db");
+    db.create_table(mk(
+        "order_items",
+        vec![
+            ("order_id", Int),
+            ("line", Int),
+            ("product_id", Int),
+            ("qty", Int),
+            ("amount", Float),
+        ],
+        vec!["order_id", "line"],
+    ))
+    .expect("fresh db");
+
+    let mut io = IoStats::new();
+    let statuses = ["placed", "paid", "shipped", "delivered", "cancelled"];
+    for i in 0..3_000i64 {
+        db.table_mut("customers")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("user{i}@example.com")),
+                    Value::Int(i % 40),
+                    Value::Int(i % 4),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    for i in 0..1_000i64 {
+        db.table_mut("products")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 25),
+                    Value::Float((i % 97) as f64 + 0.99),
+                    Value::Int(i % 500),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    for i in 0..15_000i64 {
+        db.table_mut("orders")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 3_000),
+                    Value::Str(statuses[(i % 5) as usize].to_string()),
+                    Value::Int(i % 365),
+                    Value::Float((i % 390) as f64),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    for i in 0..40_000i64 {
+        db.table_mut("order_items")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i / 3),
+                    Value::Int(i % 3),
+                    Value::Int((i * 7) % 1_000),
+                    Value::Int(i % 5 + 1),
+                    Value::Float((i % 120) as f64),
+                ],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    db.analyze_all();
+    db
+}
+
+fn main() {
+    let mut db = build_shop();
+    let engine = Engine::new();
+
+    let workload = [
+        // Customer order history page.
+        ("history", "SELECT id, status, total FROM orders WHERE customer_id = 117 ORDER BY placed_at LIMIT 20", 30),
+        // Open orders dashboard.
+        ("dashboard", "SELECT id, total FROM orders WHERE status = 'placed' AND placed_at > 300", 20),
+        // Revenue by category (join + group).
+        ("revenue", "SELECT p.category, SUM(oi.amount) FROM order_items oi, products p \
+                     WHERE oi.product_id = p.id AND p.category = 7 GROUP BY p.category", 10),
+        // Who bought this product (3-way join).
+        ("buyers", "SELECT c.email FROM customers c, orders o, order_items oi \
+                    WHERE c.id = o.customer_id AND o.id = oi.order_id AND oi.product_id = 42", 10),
+        // Restock check.
+        ("restock", "SELECT id, stock FROM products WHERE category = 3 AND stock < 10", 15),
+        // Order placement (writes).
+        ("update", "UPDATE orders SET status = 'paid' WHERE id = 5000", 25),
+    ];
+
+    println!("=== before tuning ===");
+    let mut monitor = WorkloadMonitor::new();
+    let mut before_cost = 0.0;
+    for (label, sql, reps) in &workload {
+        let stmt = parse_statement(sql).expect("valid SQL");
+        let mut cost = 0.0;
+        for _ in 0..*reps {
+            let out = engine.execute(&mut db, &stmt).expect("executes");
+            cost += out.cost;
+            monitor.record(&stmt, &out);
+        }
+        before_cost += cost;
+        println!("  {label:<10} total cost {cost:>10.1}");
+    }
+
+    // Multiple rounds: the second round sees the narrow indexes in use and
+    // can promote qualifying queries to covering indexes.
+    let aim = Aim::new(AimConfig {
+        selection: SelectionConfig {
+            min_executions: 2,
+            min_benefit: 0.5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    for round in 1..=3 {
+        let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+        println!("\n=== tuning round {round}: {} new indexes ===", outcome.created.len());
+        for c in &outcome.created {
+            println!("  {}", c.explanation);
+        }
+        for (name, why) in &outcome.rejected {
+            println!("  rejected {name}: {why}");
+        }
+        if outcome.created.is_empty() {
+            break;
+        }
+        // Observe another window with the new physical design.
+        monitor.reset();
+        for (_, sql, reps) in &workload {
+            let stmt = parse_statement(sql).expect("valid SQL");
+            for _ in 0..*reps {
+                let out = engine.execute(&mut db, &stmt).expect("executes");
+                monitor.record(&stmt, &out);
+            }
+        }
+    }
+
+    println!("\n=== after tuning ===");
+    let mut after_cost = 0.0;
+    for (label, sql, reps) in &workload {
+        let stmt = parse_statement(sql).expect("valid SQL");
+        let mut cost = 0.0;
+        for _ in 0..*reps {
+            let out = engine.execute(&mut db, &stmt).expect("executes");
+            cost += out.cost;
+        }
+        after_cost += cost;
+        println!("  {label:<10} total cost {cost:>10.1}");
+    }
+    println!(
+        "\nworkload cost: {before_cost:.0} -> {after_cost:.0} ({:.1}x better), {} indexes, {} bytes",
+        before_cost / after_cost,
+        db.all_indexes().len(),
+        db.total_secondary_index_bytes()
+    );
+}

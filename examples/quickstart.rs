@@ -1,0 +1,102 @@
+//! Quickstart: observe a workload, let AIM pick indexes, see the effect.
+//!
+//! ```sh
+//! cargo run -p aim-bench --example quickstart --release
+//! ```
+
+use aim_core::driver::{Aim, AimConfig};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+
+fn main() {
+    // 1. A table with some data.
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "students",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("score", ColumnType::Int),
+                ColumnDef::new("class", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .expect("valid schema"),
+    )
+    .expect("fresh database");
+    let mut io = IoStats::new();
+    for i in 0..20_000i64 {
+        db.table_mut("students")
+            .expect("exists")
+            .insert(
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("student{i}")),
+                    Value::Int(i % 100),
+                    Value::Int(i % 30),
+                ],
+                &mut io,
+            )
+            .expect("unique ids");
+    }
+    db.analyze_all();
+
+    // 2. Run a workload while the monitor watches.
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let queries = [
+        "SELECT id, name FROM students WHERE score > 95 AND class = 7",
+        "SELECT id, name FROM students WHERE score > 90 AND class = 12",
+        "SELECT id FROM students WHERE class = 3",
+    ];
+    for _ in 0..20 {
+        for q in &queries {
+            let stmt = parse_statement(q).expect("valid SQL");
+            let out = engine.execute(&mut db, &stmt).expect("executes");
+            monitor.record(&stmt, &out);
+        }
+    }
+    let stmt = parse_statement(queries[0]).expect("valid SQL");
+    let before = engine.execute(&mut db, &stmt).expect("executes");
+    println!(
+        "before tuning: {} rows read to answer {} rows",
+        before.rows_read(),
+        before.rows_sent()
+    );
+
+    // 3. One AIM tuning pass.
+    let aim = Aim::new(AimConfig {
+        selection: SelectionConfig {
+            min_executions: 2,
+            min_benefit: 0.5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+    println!(
+        "\nAIM examined {} queries, generated {} candidates, created {} indexes in {:?}:",
+        outcome.workload_size,
+        outcome.candidates_generated,
+        outcome.created.len(),
+        outcome.elapsed
+    );
+    for c in &outcome.created {
+        // Every recommendation carries its metrics-driven explanation.
+        println!("  {}", c.explanation);
+    }
+
+    // 4. The same query after tuning.
+    let after = engine.execute(&mut db, &stmt).expect("executes");
+    println!(
+        "\nafter tuning: {} rows read (was {}), cost {:.1} (was {:.1})",
+        after.rows_read(),
+        before.rows_read(),
+        after.cost,
+        before.cost
+    );
+    assert!(after.cost < before.cost);
+}
