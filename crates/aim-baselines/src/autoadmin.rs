@@ -54,6 +54,7 @@ impl IndexAdvisor for AutoAdmin {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("autoadmin.recommend");
         let eval = CostEvaluator::new(db, workload);
         let pool = syntactic_candidates(db, workload, self.max_width);
 

@@ -92,6 +92,7 @@ impl<'a> CostEvaluator<'a> {
         keys.sort();
         keys.dedup();
         if let Some(&c) = self.cache.borrow().get(&(query_idx, keys.clone())) {
+            aim_telemetry::metrics::counter_add("baselines.cost_cache_hits", 1);
             return c;
         }
         self.calls.set(self.calls.get() + 1);

@@ -41,6 +41,7 @@ impl IndexAdvisor for Db2Advis {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("db2advis.recommend");
         let eval = CostEvaluator::new(db, workload);
         let pool = syntactic_candidates(db, workload, self.max_width);
 

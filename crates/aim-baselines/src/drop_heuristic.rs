@@ -42,6 +42,7 @@ impl IndexAdvisor for DropHeuristic {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("drop_heuristic.recommend");
         let eval = CostEvaluator::new(db, workload);
         let mut config = syntactic_candidates(db, workload, self.max_width);
         let mut current_cost = eval.workload_cost(&config);

@@ -67,6 +67,7 @@ impl IndexAdvisor for Dta {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("dta.recommend");
         let eval = CostEvaluator::new(db, workload);
         let pool = syntactic_candidates(db, workload, self.max_width);
 

@@ -56,6 +56,7 @@ impl IndexAdvisor for Extend {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("extend.recommend");
         let eval = CostEvaluator::new(db, workload);
 
         // Attribute pool per table: every indexable attribute of any

@@ -6,7 +6,7 @@
 //! * **dataless-statistics column ordering on vs. off** — §V-B's limited
 //!   optimizer reliance still needs statistics in three places.
 //!
-//! Each variant reports both its runtime (Criterion) and — via the printed
+//! Each variant reports both its runtime (micro-bench harness) and — via the printed
 //! summary of `quality_summary` — the estimated workload cost its
 //! configuration achieves, so the time/quality trade-off is visible.
 
@@ -17,7 +17,8 @@ use aim_core::{
 use aim_exec::{estimate_statement_cost, CostModel, HypoConfig};
 use aim_monitor::{QueryStats, WorkloadQuery};
 use aim_storage::{Database, IndexDef};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aim_bench::microbench::Criterion;
+use aim_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn fixture() -> (Database, Vec<WeightedQuery>, Vec<WorkloadQuery>) {

@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for the advisor pipeline: candidate
+//! Micro-benchmarks (criterion-style, via `aim_bench::microbench`) for the advisor pipeline: candidate
 //! generation, partial-order merging, ranking, and end-to-end advisor runs
 //! (AIM vs. DTA vs. Extend — the runtime comparison behind Figure 4b/4d).
 
@@ -10,7 +10,8 @@ use aim_core::{
 use aim_exec::{estimate_statement_cost, CostModel, HypoConfig};
 use aim_monitor::{QueryStats, WorkloadQuery};
 use aim_storage::Database;
-use criterion::{criterion_group, criterion_main, Criterion};
+use aim_bench::microbench::Criterion;
+use aim_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn tpch_fixture() -> (Database, Vec<WeightedQuery>) {

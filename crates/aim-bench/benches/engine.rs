@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks for the storage engine and executor: the
+//! Micro-benchmarks (criterion-style, via `aim_bench::microbench`) for the storage engine and executor: the
 //! substrate costs underneath every experiment.
 
 use aim_exec::Engine;
 use aim_sql::parse_statement;
 use aim_storage::{ColumnDef, ColumnType, Database, IndexDef, IoStats, TableSchema, Value};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aim_bench::microbench::Criterion;
+use aim_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn fixture(rows: i64) -> Database {

@@ -10,6 +10,14 @@
 //! aim> SELECT id FROM orders WHERE customer_id = 7;
 //! aim> \tune
 //! ```
+//!
+//! Non-interactive profiling mode — executes a named workload, runs one
+//! tuning pass with telemetry enabled, and prints the span tree plus
+//! counters:
+//!
+//! ```sh
+//! cargo run -p aim-bench --bin aim_cli --release -- --profile tpch
+//! ```
 
 use aim_core::driver::{Aim, AimConfig};
 use aim_exec::{Engine, HypoConfig, Planner};
@@ -19,6 +27,12 @@ use aim_storage::{Database, Value};
 use std::io::{BufRead, Write};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--profile") {
+        let workload = args.get(i + 1).map(String::as_str).unwrap_or("demo");
+        run_profile(workload);
+        return;
+    }
     let mut db = Database::new();
     let engine = Engine::new();
     let mut monitor = WorkloadMonitor::new();
@@ -178,6 +192,80 @@ fn run_sql(sql: &str, db: &mut Database, engine: &Engine, monitor: &mut Workload
             );
         }
         Err(e) => println!("error: {e}"),
+    }
+}
+
+/// `--profile <workload>`: execute the workload once, run one tuning pass
+/// with telemetry on, and print the phase tree + counters.
+fn run_profile(workload: &str) {
+    use aim_core::WeightedQuery;
+
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let (mut db, weighted): (Database, Vec<WeightedQuery>) = match workload {
+        "demo" => {
+            let mut db = Database::new();
+            load_demo(&mut db, &engine, &mut monitor);
+            (db, Vec::new())
+        }
+        "tpch" => (
+            aim_workloads::tpch::build_database(&Default::default()),
+            aim_workloads::tpch::weighted_workload(17),
+        ),
+        "tpcds" => (
+            aim_workloads::tpcds::build_database(&Default::default()),
+            aim_workloads::tpcds::weighted_workload(17),
+        ),
+        "job" => (
+            aim_workloads::job::build_database(&Default::default()),
+            aim_workloads::job::weighted_workload(17),
+        ),
+        "join_heavy" => (
+            aim_workloads::join_heavy::build_database(&Default::default()),
+            aim_workloads::join_heavy::weighted(17),
+        ),
+        other => {
+            eprintln!("unknown workload '{other}' (demo, tpch, tpcds, job, join_heavy)");
+            std::process::exit(2);
+        }
+    };
+
+    aim_telemetry::enable();
+    aim_telemetry::reset();
+    let wall = std::time::Instant::now();
+
+    for wq in &weighted {
+        if let Ok(outcome) = engine.execute(&mut db, &wq.statement) {
+            monitor.record(&wq.statement, &outcome);
+        }
+    }
+    let aim = Aim::new(AimConfig {
+        selection: SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let result = aim.tune(&mut db, &monitor);
+    let wall = wall.elapsed();
+
+    let profile = aim_telemetry::take_profile();
+    let snapshot = aim_telemetry::snapshot();
+    println!("== profile: {workload} ==");
+    print!("{}", aim_telemetry::render_profile(&profile));
+    print!("{}", aim_telemetry::render_counters(&snapshot));
+    println!("wall time: {:.1} ms", wall.as_secs_f64() * 1e3);
+    match result {
+        Ok(outcome) => println!(
+            "tuning pass: {} queries, {} candidates, {} created, {} rejected, {:.1} ms",
+            outcome.workload_size,
+            outcome.candidates_generated,
+            outcome.created.len(),
+            outcome.rejected.len(),
+            outcome.elapsed.as_secs_f64() * 1e3
+        ),
+        Err(e) => println!("tuning error: {e}"),
     }
 }
 

@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    aim_telemetry::enable();
     let mut profile = profiles()[if quick { 5 } else { 2 }].clone(); // F / C
     profile.rows_per_table = (1_500, 4_000);
     let w = build(&profile);
@@ -125,5 +126,10 @@ fn main() {
             "share_of_improved_10x_pct,{:.1}",
             improved_10x as f64 / improved as f64 * 100.0
         );
+    }
+
+    match aim_telemetry::write_artifact("results/continuous_telemetry.json", "continuous") {
+        Ok(()) => eprintln!("# telemetry: results/continuous_telemetry.json"),
+        Err(e) => eprintln!("# telemetry artifact failed: {e}"),
     }
 }

@@ -23,6 +23,7 @@ use aim_workloads::replay::Replayer;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    aim_telemetry::enable();
     let cfg = if quick {
         JoinHeavyConfig {
             child_rows: 4_000,
@@ -154,4 +155,9 @@ fn main() {
         (t(3) / gtp - 1.0) * 100.0,
         (aim_phase_stats[3].1 / gcpu - 1.0) * 100.0,
     );
+
+    match aim_telemetry::write_artifact("results/fig6_telemetry.json", "fig6") {
+        Ok(()) => eprintln!("# telemetry: results/fig6_telemetry.json"),
+        Err(e) => eprintln!("# telemetry artifact failed: {e}"),
+    }
 }

@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment harnesses (one binary per table /
 //! figure of the paper — see `src/bin/`).
 
+pub mod microbench;
+
 use aim_core::driver::{Aim, AimConfig};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_storage::{Database, IndexDef};

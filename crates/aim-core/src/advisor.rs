@@ -117,6 +117,7 @@ impl IndexAdvisor for AimAdvisor {
         workload: &[WeightedQuery],
         budget_bytes: u64,
     ) -> Vec<IndexDef> {
+        let _span = aim_telemetry::span("aim.recommend");
         // Fabricate monitor statistics: weight × unindexed estimated cost
         // stands in for observed CPU, which is what Eq. 7 scales by.
         let empty = HypoConfig::only(Vec::new());

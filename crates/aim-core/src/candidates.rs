@@ -470,6 +470,7 @@ pub fn generate_candidates(
     cfg: &CandidateGenConfig,
 ) -> Vec<CandidateIndex> {
     // 1. Per-query partial orders with provenance.
+    let derive_span = aim_telemetry::span("derive_partial_orders");
     let mut pos: Vec<CandidatePO> = Vec::new();
     for wq in workload {
         let Ok(structure) = analyze_structure(db, &wq.stats.normalized) else {
@@ -486,7 +487,23 @@ pub fn generate_candidates(
             CoveringPolicy::Both => {
                 vec![CoveringMode::NonCovering, CoveringMode::Covering]
             }
-            _ => vec![try_covering_index(&wq.stats, &structure, cfg)],
+            _ => {
+                let mode = try_covering_index(&wq.stats, &structure, cfg);
+                // The two-phase flip to covering mode (§III-D) is a
+                // decision worth journaling: it explains sudden wide
+                // candidates in later passes.
+                if mode == CoveringMode::Covering && aim_telemetry::is_enabled() {
+                    aim_telemetry::event(
+                        aim_telemetry::EventKind::CandidateMerged,
+                        wq.stats.normalized_text.clone(),
+                        format!(
+                            "TryCoveringIndex: covering phase ({:.1} seeks/exec)",
+                            wq.stats.seeks_avg()
+                        ),
+                    );
+                }
+                vec![mode]
+            }
         };
         // §VIII-a: with index-merge disabled, per-OR-factor candidates are
         // unusable; collapse each table's factors to their conjunction.
@@ -532,7 +549,10 @@ pub fn generate_candidates(
         }
     }
 
+    drop(derive_span);
+
     // 2. Merge partial orders per table (§III-E).
+    let _merge_span = aim_telemetry::span("partial_order_merge");
     let mut by_table: BTreeMap<String, Vec<CandidatePO>> = BTreeMap::new();
     for c in pos {
         by_table.entry(c.table.clone()).or_default().push(c);
@@ -542,7 +562,16 @@ pub fn generate_candidates(
     for (table, cands) in by_table {
         let orders: Vec<PartialOrder> = cands.iter().map(|c| c.po.clone()).collect();
         let merged = if cfg.merge {
-            merge_partial_orders(&orders, true)
+            let before = orders.len();
+            let merged = merge_partial_orders(&orders, true);
+            if aim_telemetry::is_enabled() && merged.len() != before {
+                aim_telemetry::event(
+                    aim_telemetry::EventKind::CandidateMerged,
+                    &table,
+                    format!("{before} partial orders -> {} after closure", merged.len()),
+                );
+            }
+            merged
         } else {
             let mut unique = orders;
             unique.sort();
@@ -620,7 +649,12 @@ pub fn generate_candidates(
                 });
         }
     }
-    out.into_values().collect()
+    let candidates: Vec<CandidateIndex> = out.into_values().collect();
+    aim_telemetry::metrics::CANDIDATES_GENERATED.add(candidates.len() as u64);
+    for c in &candidates {
+        aim_telemetry::metrics::histogram_record("aim.candidate_width", c.width() as f64);
+    }
+    candidates
 }
 
 #[cfg(test)]

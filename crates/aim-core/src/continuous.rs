@@ -176,13 +176,26 @@ impl ContinuousTuner {
         db: &mut Database,
         monitor: &WorkloadMonitor,
     ) -> Result<ContinuousOutcome, ExecError> {
+        let _step_span = aim_telemetry::span("aim.continuous_step");
         let mut outcome = ContinuousOutcome::default();
 
         // 1. Revert recently-added automation indexes implicated in
         //    regressions (pre-existing indexes are never auto-dropped on a
         //    regression signal: the regression cannot be "due to an index
         //    added by automation" if automation added nothing lately).
+        let scan_span = aim_telemetry::span("regression_scan");
         for regression in self.detector.detect(monitor) {
+            aim_telemetry::metrics::REGRESSIONS_DETECTED.incr();
+            if aim_telemetry::is_enabled() {
+                aim_telemetry::event(
+                    aim_telemetry::EventKind::RegressionDetected,
+                    regression.query.to_string(),
+                    format!(
+                        "avg cpu {:.1} -> {:.1}, suspects {:?}",
+                        regression.baseline, regression.current, regression.suspect_indexes
+                    ),
+                );
+            }
             for name in regression.suspect_indexes {
                 if !self.recently_created.contains(&name) {
                     continue;
@@ -193,11 +206,17 @@ impl ContinuousTuner {
                     .find(|d| d.name == name)
                 {
                     if db.drop_index(&def.table, &def.name).is_ok() {
+                        aim_telemetry::event(
+                            aim_telemetry::EventKind::IndexReverted,
+                            &def.name,
+                            "regression implicated a recently-created index",
+                        );
                         outcome.reverted.push(def.name);
                     }
                 }
             }
         }
+        drop(scan_span);
 
         // 2. Tune.
         outcome.tuning = self.aim.tune(db, monitor)?;
@@ -209,6 +228,7 @@ impl ContinuousTuner {
             .collect();
 
         // 3. Unused-index GC with a grace period.
+        let _gc_span = aim_telemetry::span("unused_gc");
         if self.unused_grace_windows > 0 {
             let unused_now: BTreeSet<String> = find_unused_indexes(db, monitor)
                 .into_iter()
@@ -229,6 +249,11 @@ impl ContinuousTuner {
             for name in expired {
                 if let Some(def) = db.all_indexes().into_iter().find(|d| d.name == name) {
                     if db.drop_index(&def.table, &def.name).is_ok() {
+                        aim_telemetry::event(
+                            aim_telemetry::EventKind::IndexDropped,
+                            &name,
+                            format!("unused for {} windows", self.unused_grace_windows),
+                        );
                         outcome.dropped_unused.push(name.clone());
                     }
                 }

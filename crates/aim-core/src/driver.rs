@@ -23,7 +23,8 @@ use crate::validate::{validate_on_clone, RejectReason, ValidationConfig};
 use aim_exec::{Engine, ExecError};
 use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor};
 use aim_storage::{Database, IndexDef, IoStats};
-use std::time::{Duration, Instant};
+use aim_telemetry as tel;
+use std::time::Duration;
 
 /// Full configuration of a tuning pass.
 #[derive(Debug, Clone)]
@@ -109,20 +110,28 @@ impl Aim {
         db: &mut Database,
         monitor: &WorkloadMonitor,
     ) -> Result<AimOutcome, ExecError> {
-        let start = Instant::now();
+        // The root span is the pass's single timing source: `elapsed()`
+        // works whether or not telemetry is collecting.
+        let root = tel::span("aim.tune");
         let mut outcome = AimOutcome::default();
 
         // 1. Representative workload selection.
-        let workload = select_workload(monitor, &self.config.selection);
+        let workload = {
+            let _s = tel::span("select_workload");
+            select_workload(monitor, &self.config.selection)
+        };
         outcome.workload_size = workload.len();
         if workload.is_empty() {
-            outcome.elapsed = start.elapsed();
+            outcome.elapsed = root.elapsed();
             return Ok(outcome);
         }
 
         // 2. Structural candidate generation.
-        db.analyze_all();
-        let mut candidates = generate_candidates(db, &workload, &self.config.candidate_gen);
+        let mut candidates = {
+            let _s = tel::span("candidate_generation");
+            db.analyze_all();
+            generate_candidates(db, &workload, &self.config.candidate_gen)
+        };
         // Drop candidates that an existing index already serves: identical
         // column lists, and any candidate that is a key-prefix of an
         // existing index on the same table.
@@ -138,7 +147,10 @@ impl Aim {
         outcome.candidates_generated = candidates.len();
 
         // 3. Ranking + knapsack under the remaining budget.
-        let mut ranked = rank_candidates(db, &workload, &candidates, &self.engine.cost_model);
+        let mut ranked = {
+            let _s = tel::span("ranking");
+            rank_candidates(db, &workload, &candidates, &self.engine.cost_model)
+        };
         if let Some(profile) = &self.config.sharding {
             profile.apply(&mut ranked);
         }
@@ -148,9 +160,12 @@ impl Aim {
             .as_ref()
             .map_or(1, |p| p.shard_count);
         let used = db.total_secondary_index_bytes().saturating_mul(shard_mult);
-        let chosen = knapsack_select(&ranked, self.config.storage_budget, used);
+        let chosen = {
+            let _s = tel::span("knapsack");
+            knapsack_select(&ranked, self.config.storage_budget, used)
+        };
         if chosen.is_empty() {
-            outcome.elapsed = start.elapsed();
+            self.finish_pass(db, &mut outcome, &root);
             return Ok(outcome);
         }
 
@@ -158,6 +173,7 @@ impl Aim {
         let accepted: Vec<RankedCandidate> = if self.config.skip_validation {
             chosen
         } else {
+            let _s = tel::span("validation");
             let result = validate_on_clone(
                 db,
                 &workload,
@@ -166,14 +182,16 @@ impl Aim {
                 &self.config.validation,
             )?;
             for (r, reason) in result.rejected {
-                outcome
-                    .rejected
-                    .push((r.candidate.name(), reject_text(&reason)));
+                let reason = reject_text(&reason);
+                tel::metrics::INDEXES_REJECTED.incr();
+                tel::event(tel::EventKind::IndexRejected, r.candidate.name(), reason.clone());
+                outcome.rejected.push((r.candidate.name(), reason));
             }
             result.accepted
         };
 
         // 5. Materialize on production.
+        let _s = tel::span("materialize");
         let mut io = IoStats::new();
         for r in accepted {
             let def = IndexDef::new(
@@ -182,19 +200,59 @@ impl Aim {
                 r.candidate.columns.clone(),
             );
             match db.create_index(def.clone(), &mut io) {
-                Ok(()) => outcome.created.push(CreatedIndex {
-                    explanation: r.explanation(),
-                    benefit: r.benefit,
-                    maintenance: r.maintenance,
-                    size_bytes: r.size_bytes,
-                    def,
-                }),
-                Err(e) => outcome.rejected.push((def.name, e.to_string())),
+                Ok(()) => {
+                    tel::metrics::INDEXES_CREATED.incr();
+                    tel::event(
+                        tel::EventKind::IndexAccepted,
+                        &def.name,
+                        format!(
+                            "benefit {:.1}, maintenance {:.1}, {} bytes",
+                            r.benefit, r.maintenance, r.size_bytes
+                        ),
+                    );
+                    outcome.created.push(CreatedIndex {
+                        explanation: r.explanation(),
+                        benefit: r.benefit,
+                        maintenance: r.maintenance,
+                        size_bytes: r.size_bytes,
+                        def,
+                    });
+                }
+                Err(e) => {
+                    tel::metrics::INDEXES_REJECTED.incr();
+                    tel::event(tel::EventKind::IndexRejected, &def.name, e.to_string());
+                    outcome.rejected.push((def.name, e.to_string()));
+                }
             }
         }
         db.analyze_all();
-        outcome.elapsed = start.elapsed();
+        drop(_s);
+        self.finish_pass(db, &mut outcome, &root);
         Ok(outcome)
+    }
+
+    /// Common pass epilogue: record wall time, the pass-summary event, and
+    /// the post-pass index footprint gauge.
+    fn finish_pass(&self, db: &Database, outcome: &mut AimOutcome, root: &tel::SpanGuard) {
+        outcome.elapsed = root.elapsed();
+        tel::metrics::gauge_set(
+            "db.secondary_index_bytes",
+            db.total_secondary_index_bytes() as i64,
+        );
+        if tel::is_enabled() {
+            tel::event(
+                tel::EventKind::TuningPass,
+                "aim.tune",
+                format!(
+                    "workload {}, candidates {}, created {}, rejected {}, {:.1} ms",
+                    outcome.workload_size,
+                    outcome.candidates_generated,
+                    outcome.created.len(),
+                    outcome.rejected.len(),
+                    outcome.elapsed.as_secs_f64() * 1e3
+                ),
+            );
+        }
     }
 }
 

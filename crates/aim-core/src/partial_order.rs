@@ -286,6 +286,7 @@ pub fn merge_partial_orders(orders: &[PartialOrder], keep_absorbed: bool) -> Vec
                 }
                 if let Some(m) = a.merge_pairwise(b) {
                     if set.insert(m) {
+                        aim_telemetry::metrics::PO_MERGES.incr();
                         grew = true;
                     }
                 }

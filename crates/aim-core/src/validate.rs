@@ -101,13 +101,17 @@ pub fn validate_on_clone(
     let mut rejected: Vec<(RankedCandidate, RejectReason)> = Vec::new();
 
     // The test bed: a full logical copy, or MyShadow's sampled one.
-    let bed: Database = match cfg.sample_fraction {
-        Some(f) if f < 1.0 => db.sample(f, cfg.sample_seed),
-        _ => db.clone(),
+    let bed: Database = {
+        let _s = aim_telemetry::span("clone_test_bed");
+        match cfg.sample_fraction {
+            Some(f) if f < 1.0 => db.sample(f, cfg.sample_seed),
+            _ => db.clone(),
+        }
     };
     let db = &bed;
 
     // Baseline measured costs on an untouched clone.
+    let _baseline_span = aim_telemetry::span("baseline_replay");
     let mut baseline_db = db.clone();
     let mut baseline: BTreeMap<QueryFingerprint, f64> = BTreeMap::new();
     for wq in workload {
@@ -115,6 +119,7 @@ pub fn validate_on_clone(
             baseline.insert(wq.stats.fingerprint, out.cost);
         }
     }
+    drop(_baseline_span);
 
     // Set only when a full round completes with nothing rejected — i.e.
     // the surviving set was actually re-validated as a whole.
@@ -124,6 +129,8 @@ pub fn validate_on_clone(
             clean_round = true;
             break;
         }
+        let _round_span = aim_telemetry::span("validation_round");
+        aim_telemetry::metrics::VALIDATION_ROUNDS.incr();
         // Fresh clone with the accepted candidates materialized.
         let mut clone = db.clone();
         let mut io = IoStats::new();
@@ -284,6 +291,18 @@ pub fn validate_on_clone(
         }
     }
 
+    if aim_telemetry::is_enabled() {
+        aim_telemetry::event(
+            aim_telemetry::EventKind::ValidationVerdict,
+            "validate_on_clone",
+            format!(
+                "accepted {}, rejected {}, clean_round {}",
+                accepted.len(),
+                rejected.len(),
+                clean_round
+            ),
+        );
+    }
     Ok(ValidationOutcome { accepted, rejected })
 }
 

@@ -74,7 +74,8 @@ impl Engine {
         db: &mut Database,
         stmt: &Statement,
     ) -> Result<ExecOutcome, ExecError> {
-        match stmt {
+        let _span = aim_telemetry::span("exec.execute");
+        let outcome = match stmt {
             Statement::Select(s) => self.execute_select(db, s),
             Statement::Insert(i) => self.execute_insert(db, i),
             Statement::Update(u) => self.execute_update(db, u),
@@ -120,7 +121,12 @@ impl Engine {
                 db.drop_index(table, name)?;
                 Ok(trivial_outcome())
             }
-        }
+        }?;
+        aim_telemetry::metrics::STATEMENTS_EXECUTED.incr();
+        aim_telemetry::metrics::ROWS_READ.add(outcome.io.rows_read);
+        aim_telemetry::metrics::PAGES_READ.add(outcome.io.pages_read);
+        aim_telemetry::metrics::INDEX_SEEKS.add(outcome.io.seeks);
+        Ok(outcome)
     }
 
     /// Executes a prepared statement: binds `params` to the statement's
@@ -144,6 +150,13 @@ impl Engine {
         let config = HypoConfig::none();
         let planner = Planner::new(db, select, &config, &self.cost_model)?;
         let plan = planner.plan()?;
+        if aim_telemetry::is_enabled() && !plan.steps.is_empty() {
+            aim_telemetry::event(
+                aim_telemetry::EventKind::PlanChosen,
+                plan.access_summary(),
+                format!("est cost {:.1}", plan.est_cost),
+            );
+        }
         let mut io = IoStats::new();
         let mut extra_cost = 0.0f64;
 

@@ -146,6 +146,23 @@ impl Plan {
         out
     }
 
+    /// Compact one-line access-path summary, e.g.
+    /// `orders(ix_cust) -> lineitem(PRIMARY)` (for telemetry events).
+    pub fn access_summary(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| {
+                let p = match &s.path {
+                    AccessPath::FullScan => "full".to_string(),
+                    AccessPath::IndexScan(ix) => ix.index.label(),
+                    AccessPath::OrUnion(b) => format!("or_union[{}]", b.len()),
+                };
+                format!("{}({p})", s.table)
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
     /// One-line-per-step EXPLAIN text.
     pub fn explain(&self, binder: &Binder) -> String {
         let mut s = String::new();
@@ -224,6 +241,7 @@ impl<'a> Planner<'a> {
 
     /// Plans the SELECT and returns the cheapest plan found.
     pub fn plan(&self) -> Result<Plan, ExecError> {
+        aim_telemetry::metrics::PLANS_EVALUATED.incr();
         let n = self.binder.len();
         if n == 0 {
             return Ok(Plan {
@@ -978,13 +996,22 @@ fn collect_referenced(
 }
 
 /// Convenience: plans a SELECT statement.
+///
+/// This is the advisory ("what-if") entry point — the executor drives
+/// [`Planner`] directly — so every call is counted as a what-if optimizer
+/// invocation and its estimated cost lands in the `exec.whatif_cost`
+/// histogram.
 pub fn plan_select(
     db: &Database,
     select: &Select,
     config: &HypoConfig,
     cm: &CostModel,
 ) -> Result<Plan, ExecError> {
-    Planner::new(db, select, config, cm)?.plan()
+    let _span = aim_telemetry::span("exec.whatif");
+    aim_telemetry::metrics::WHATIF_CALLS.incr();
+    let plan = Planner::new(db, select, config, cm)?.plan()?;
+    aim_telemetry::metrics::histogram_record("exec.whatif_cost", plan.est_cost);
+    Ok(plan)
 }
 
 /// Estimated cost of any statement under a what-if configuration.
@@ -1002,6 +1029,10 @@ pub fn estimate_statement_cost(
     match stmt {
         Statement::Select(s) => Ok(plan_select(db, s, config, cm)?.est_cost),
         Statement::Insert(i) => {
+            // Arithmetic costing, but still one what-if question answered —
+            // count it so advisor accounting matches the Select/DML paths
+            // (which go through `plan_select`).
+            aim_telemetry::metrics::WHATIF_CALLS.incr();
             let nindexes = index_count(db, &i.table, config)?;
             let rows = i.rows.len().max(1) as f64;
             Ok(rows * (1.0 + nindexes) * (cm.write_row_cost + cm.rand_page_cost))

@@ -1,4 +1,8 @@
-//! Property-based tests over the core invariants.
+//! Randomized property tests over the core invariants.
+//!
+//! Each test draws a few hundred cases from the deterministic in-tree
+//! PRNG (`aim_workloads::rng`) with a fixed seed, so failures are exactly
+//! reproducible while still sweeping a wide input space.
 
 use aim_core::partial_order::{merge_partial_orders, PartialOrder};
 use aim_exec::Engine;
@@ -7,260 +11,266 @@ use aim_sql::parse_statement;
 use aim_storage::{
     ColumnDef, ColumnType, Database, Histogram, IndexDef, IoStats, TableSchema, Value,
 };
-use proptest::prelude::*;
+use aim_workloads::rng::{Rng, SeedableRng, StdRng};
+use std::collections::BTreeSet;
 use std::ops::Bound;
 
 // ---------------------------------------------------------- partial orders
 
-/// Strategy: a partial order over a subset of col0..col5.
-fn partial_order_strategy() -> impl Strategy<Value = PartialOrder> {
-    proptest::collection::vec(proptest::collection::btree_set(0usize..6, 1..4), 1..4).prop_map(
-        |parts| {
-            // Make partitions disjoint by removing earlier-seen columns.
-            let mut seen = std::collections::BTreeSet::new();
-            let mut clean: Vec<Vec<String>> = Vec::new();
-            for p in parts {
-                let fresh: Vec<String> = p
-                    .into_iter()
-                    .filter(|c| seen.insert(*c))
-                    .map(|c| format!("col{c}"))
-                    .collect();
-                if !fresh.is_empty() {
-                    clean.push(fresh);
-                }
+/// A random partial order over a subset of col0..col5: 1–3 disjoint
+/// unordered partitions of 1–3 columns each.
+fn random_partial_order(rng: &mut StdRng) -> PartialOrder {
+    let n_parts = rng.gen_range(1..=3usize);
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut parts: Vec<Vec<String>> = Vec::new();
+    for _ in 0..n_parts {
+        let part_size = rng.gen_range(1..=3usize);
+        let mut fresh = Vec::new();
+        for _ in 0..part_size {
+            let c = rng.gen_range(0..6usize);
+            if seen.insert(c) {
+                fresh.push(format!("col{c}"));
             }
-            PartialOrder::new(clean).expect("disjoint by construction")
-        },
-    )
+        }
+        if !fresh.is_empty() {
+            parts.push(fresh);
+        }
+    }
+    if parts.is_empty() {
+        parts.push(vec![format!("col{}", rng.gen_range(0..6usize))]);
+    }
+    PartialOrder::new(parts).expect("disjoint by construction")
 }
 
-proptest! {
-    #[test]
-    fn merge_result_satisfies_both_inputs(p in partial_order_strategy(), q in partial_order_strategy()) {
-        if let Some(m) = p.merge_pairwise(&q) {
-            // Same column set as Q.
-            prop_assert_eq!(m.columns(), q.columns());
-            let total = m.total_order();
-            prop_assert!(m.is_satisfied_by(&total));
-            // P's columns form a prefix of the merged order.
-            let p_cols = p.columns();
-            let prefix: std::collections::BTreeSet<String> =
-                total[..p_cols.len()].iter().cloned().collect();
-            prop_assert_eq!(&prefix, &p_cols);
-            // Pairwise orderings of both inputs are respected.
-            for a in &p_cols {
-                for b in &p_cols {
-                    if p.precedes(a, b) {
-                        prop_assert!(!m.precedes(b, a), "merge broke {a} < {b} from P");
-                    }
+#[test]
+fn merge_result_satisfies_both_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..300 {
+        let p = random_partial_order(&mut rng);
+        let q = random_partial_order(&mut rng);
+        let Some(m) = p.merge_pairwise(&q) else {
+            continue;
+        };
+        // Same column set as Q.
+        assert_eq!(m.columns(), q.columns());
+        let total = m.total_order();
+        assert!(m.is_satisfied_by(&total));
+        // P's columns form a prefix of the merged order.
+        let p_cols = p.columns();
+        let prefix: BTreeSet<String> = total[..p_cols.len()].iter().cloned().collect();
+        assert_eq!(prefix, p_cols);
+        // Pairwise orderings of both inputs are respected.
+        for a in &p_cols {
+            for b in &p_cols {
+                if p.precedes(a, b) {
+                    assert!(!m.precedes(b, a), "merge broke {a} < {b} from P");
                 }
             }
-            let q_cols = q.columns();
-            for a in &q_cols {
-                for b in &q_cols {
-                    if q.precedes(a, b) {
-                        prop_assert!(!m.precedes(b, a), "merge broke {a} < {b} from Q");
-                    }
+        }
+        let q_cols = q.columns();
+        for a in &q_cols {
+            for b in &q_cols {
+                if q.precedes(a, b) {
+                    assert!(!m.precedes(b, a), "merge broke {a} < {b} from Q");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn merge_with_self_is_identity(p in partial_order_strategy()) {
+#[test]
+fn merge_with_self_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..300 {
+        let p = random_partial_order(&mut rng);
         let m = p.merge_pairwise(&p).expect("self-merge always allowed");
-        prop_assert_eq!(m, p);
+        assert_eq!(m, p);
     }
+}
 
-    #[test]
-    fn merge_closure_terminates_and_contains_inputs(
-        orders in proptest::collection::vec(partial_order_strategy(), 1..5)
-    ) {
+#[test]
+fn merge_closure_terminates_and_contains_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xC10);
+    for _ in 0..100 {
+        let orders: Vec<PartialOrder> = (0..rng.gen_range(1..=4usize))
+            .map(|_| random_partial_order(&mut rng))
+            .collect();
         let merged = merge_partial_orders(&orders, true);
         for o in &orders {
-            prop_assert!(merged.contains(o), "closure lost an input order");
+            assert!(merged.contains(o), "closure lost an input order");
         }
         // Fixed point: merging again adds nothing.
         let again = merge_partial_orders(&merged, true);
-        prop_assert_eq!(again.len(), merged.len());
+        assert_eq!(again.len(), merged.len());
     }
+}
 
-    #[test]
-    fn total_order_always_satisfies(p in partial_order_strategy()) {
-        prop_assert!(p.is_satisfied_by(&p.total_order()));
-        prop_assert_eq!(p.total_order().len(), p.width());
+#[test]
+fn total_order_always_satisfies() {
+    let mut rng = StdRng::seed_from_u64(0xD0);
+    for _ in 0..300 {
+        let p = random_partial_order(&mut rng);
+        assert!(p.is_satisfied_by(&p.total_order()));
+        assert_eq!(p.total_order().len(), p.width());
     }
 }
 
 // ------------------------------------------------------------- normalizer
 
-proptest! {
-    #[test]
-    fn fingerprint_invariant_under_literals(a in 0i64..1000, b in 0i64..1000, s in "[a-z]{1,8}") {
-        let q1 = format!("SELECT id FROM t WHERE x = {a} AND y > {b} AND z = '{s}'");
-        let q2 = "SELECT id FROM t WHERE x = 0 AND y > 0 AND z = 'zz'";
-        let f1 = normalize_statement(&parse_statement(&q1).expect("valid")).fingerprint;
-        let f2 = normalize_statement(&parse_statement(q2).expect("valid")).fingerprint;
-        prop_assert_eq!(f1, f2);
-    }
+fn random_ident(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=8usize);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
 
-    #[test]
-    fn parse_display_roundtrip_stable(a in 0i64..100, b in 0i64..100) {
+#[test]
+fn fingerprint_invariant_under_literals() {
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    let f2 = normalize_statement(
+        &parse_statement("SELECT id FROM t WHERE x = 0 AND y > 0 AND z = 'zz'").expect("valid"),
+    )
+    .fingerprint;
+    for _ in 0..200 {
+        let a = rng.gen_range(0..1000i64);
+        let b = rng.gen_range(0..1000i64);
+        let s = random_ident(&mut rng);
+        let q1 = format!("SELECT id FROM t WHERE x = {a} AND y > {b} AND z = '{s}'");
+        let f1 = normalize_statement(&parse_statement(&q1).expect("valid")).fingerprint;
+        assert_eq!(f1, f2, "literals changed the fingerprint: {q1}");
+    }
+}
+
+#[test]
+fn parse_display_roundtrip_stable() {
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    for _ in 0..200 {
+        let a = rng.gen_range(0..100i64);
+        let b = rng.gen_range(0..100i64);
         let sql = format!(
             "SELECT x, COUNT(*) FROM t WHERE a = {a} AND (b > {b} OR c IN (1, 2)) \
              GROUP BY x ORDER BY x ASC LIMIT 5"
         );
         let stmt = parse_statement(&sql).expect("valid");
         let reparsed = parse_statement(&stmt.to_string()).expect("display is parseable");
-        prop_assert_eq!(stmt, reparsed);
+        assert_eq!(stmt, reparsed);
     }
 }
 
 // ------------------------------------------------------------- histograms
 
-proptest! {
-    #[test]
-    fn histogram_mass_conserved(mut values in proptest::collection::vec(-500i64..500, 1..300)) {
+#[test]
+fn histogram_mass_conserved() {
+    let mut rng = StdRng::seed_from_u64(0x41);
+    for _ in 0..150 {
+        let n = rng.gen_range(1..300usize);
+        let mut values: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500i64)).collect();
         values.sort();
         let vals: Vec<Value> = values.iter().map(|v| Value::Int(*v)).collect();
         let h = Histogram::build(&vals, 16);
-        prop_assert_eq!(h.total(), vals.len() as u64);
+        assert_eq!(h.total(), vals.len() as u64);
         // Full-range estimate recovers (approximately) everything.
         let est = h.estimate_range(Bound::Unbounded, Bound::Unbounded);
-        prop_assert!((est - vals.len() as f64).abs() < 1.0 + vals.len() as f64 * 0.1);
+        assert!((est - vals.len() as f64).abs() < 1.0 + vals.len() as f64 * 0.1);
     }
+}
 
-    #[test]
-    fn histogram_eq_estimate_bounded(mut values in proptest::collection::vec(0i64..50, 1..200), probe in 0i64..50) {
+#[test]
+fn histogram_eq_estimate_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x42);
+    for _ in 0..150 {
+        let n = rng.gen_range(1..200usize);
+        let mut values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..50i64)).collect();
         values.sort();
+        let probe = rng.gen_range(0..50i64);
         let vals: Vec<Value> = values.iter().map(|v| Value::Int(*v)).collect();
         let h = Histogram::build(&vals, 8);
         let est = h.estimate_eq(&Value::Int(probe));
-        prop_assert!(est >= 0.0);
-        prop_assert!(est <= vals.len() as f64);
+        assert!(est >= 0.0);
+        assert!(est <= vals.len() as f64);
     }
 }
 
 // ------------------------------------- executor: index/scan equivalence
 
-/// One random conjunctive predicate over (a, b, c).
-#[derive(Debug, Clone)]
-struct Pred {
-    col: &'static str,
-    op: &'static str,
-    val: i64,
-}
-
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    (
-        prop_oneof![Just("a"), Just("b"), Just("c")],
-        prop_oneof![Just("="), Just(">"), Just("<"), Just(">="), Just("<=")],
-        0i64..30,
-    )
-        .prop_map(|(col, op, val)| Pred { col, op, val })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn indexed_execution_equals_scan(
-        rows in proptest::collection::vec((0i64..30, 0i64..30, 0i64..30), 1..120),
-        preds in proptest::collection::vec(pred_strategy(), 1..3),
-        index_cols in proptest::collection::btree_set(prop_oneof![Just("a"), Just("b"), Just("c")], 1..3),
-    ) {
-        let mut db = Database::new();
-        db.create_table(
-            TableSchema::new(
-                "t",
-                vec![
-                    ColumnDef::new("id", ColumnType::Int),
-                    ColumnDef::new("a", ColumnType::Int),
-                    ColumnDef::new("b", ColumnType::Int),
-                    ColumnDef::new("c", ColumnType::Int),
-                ],
-                &["id"],
-            )
-            .expect("valid"),
-        )
+fn int_table(rng: &mut StdRng, columns: &[&str], max_rows: usize, domain: i64) -> Database {
+    let mut defs = vec![ColumnDef::new("id", ColumnType::Int)];
+    defs.extend(columns.iter().map(|c| ColumnDef::new(*c, ColumnType::Int)));
+    let mut db = Database::new();
+    db.create_table(TableSchema::new("t", defs, &["id"]).expect("valid"))
         .expect("fresh");
-        let mut io = IoStats::new();
-        for (i, (a, b, c)) in rows.iter().enumerate() {
-            db.table_mut("t")
-                .expect("exists")
-                .insert(
-                    vec![
-                        Value::Int(i as i64),
-                        Value::Int(*a),
-                        Value::Int(*b),
-                        Value::Int(*c),
-                    ],
-                    &mut io,
-                )
-                .expect("unique");
-        }
-        db.analyze_all();
+    let mut io = IoStats::new();
+    let n = rng.gen_range(1..=max_rows);
+    for i in 0..n {
+        let mut row = vec![Value::Int(i as i64)];
+        row.extend((0..columns.len()).map(|_| Value::Int(rng.gen_range(0..domain))));
+        db.table_mut("t")
+            .expect("exists")
+            .insert(row, &mut io)
+            .expect("unique");
+    }
+    db.analyze_all();
+    db
+}
 
-        let where_clause: Vec<String> = preds
-            .iter()
-            .map(|p| format!("{} {} {}", p.col, p.op, p.val))
+#[test]
+fn indexed_execution_equals_scan() {
+    let cols = ["a", "b", "c"];
+    let ops = ["=", ">", "<", ">=", "<="];
+    let mut rng = StdRng::seed_from_u64(0x5EEC);
+    let engine = Engine::new();
+    for _ in 0..64 {
+        let mut db = int_table(&mut rng, &cols, 120, 30);
+        let n_preds = rng.gen_range(1..=2usize);
+        let where_clause: Vec<String> = (0..n_preds)
+            .map(|_| {
+                format!(
+                    "{} {} {}",
+                    cols[rng.gen_range(0..cols.len())],
+                    ops[rng.gen_range(0..ops.len())],
+                    rng.gen_range(0..30i64)
+                )
+            })
             .collect();
         let sql = format!("SELECT id, a, b, c FROM t WHERE {}", where_clause.join(" AND "));
         let stmt = parse_statement(&sql).expect("valid");
-        let engine = Engine::new();
 
         let mut base = engine.execute(&mut db, &stmt).expect("executes").rows;
         base.sort();
 
-        let cols: Vec<String> = index_cols.iter().map(|s| s.to_string()).collect();
-        db.create_index(IndexDef::new("ix", "t", cols), &mut io).expect("valid index");
+        let index_cols: BTreeSet<&str> = (0..rng.gen_range(1..=2usize))
+            .map(|_| cols[rng.gen_range(0..cols.len())])
+            .collect();
+        let cols_v: Vec<String> = index_cols.iter().map(|s| s.to_string()).collect();
+        let mut io = IoStats::new();
+        db.create_index(IndexDef::new("ix", "t", cols_v), &mut io)
+            .expect("valid index");
         db.analyze_all();
         let mut indexed = engine.execute(&mut db, &stmt).expect("executes").rows;
         indexed.sort();
 
-        prop_assert_eq!(base, indexed, "index changed results for {}", sql);
+        assert_eq!(base, indexed, "index changed results for {sql}");
     }
+}
 
-    #[test]
-    fn or_predicates_unchanged_by_indexes(
-        rows in proptest::collection::vec((0i64..20, 0i64..20), 1..100),
-        v1 in 0i64..20,
-        v2 in 0i64..20,
-        v3 in 0i64..20,
-    ) {
-        // Single-table OR: with per-branch indexes the planner may pick an
-        // index-merge union; results must match the plain scan.
-        let mut db = Database::new();
-        db.create_table(
-            TableSchema::new(
-                "t",
-                vec![
-                    ColumnDef::new("id", ColumnType::Int),
-                    ColumnDef::new("a", ColumnType::Int),
-                    ColumnDef::new("b", ColumnType::Int),
-                ],
-                &["id"],
-            )
-            .expect("valid"),
-        )
-        .expect("fresh");
-        let mut io = IoStats::new();
-        for (i, (a, b)) in rows.iter().enumerate() {
-            db.table_mut("t")
-                .expect("exists")
-                .insert(
-                    vec![Value::Int(i as i64), Value::Int(*a), Value::Int(*b)],
-                    &mut io,
-                )
-                .expect("unique");
-        }
-        db.analyze_all();
-        let engine = Engine::new();
-        let sql = format!(
-            "SELECT id FROM t WHERE (a = {v1} AND b = {v2}) OR b = {v3}"
+#[test]
+fn or_predicates_unchanged_by_indexes() {
+    // Single-table OR: with per-branch indexes the planner may pick an
+    // index-merge union; results must match the plain scan.
+    let mut rng = StdRng::seed_from_u64(0x0A);
+    let engine = Engine::new();
+    for _ in 0..64 {
+        let mut db = int_table(&mut rng, &["a", "b"], 100, 20);
+        let (v1, v2, v3) = (
+            rng.gen_range(0..20i64),
+            rng.gen_range(0..20i64),
+            rng.gen_range(0..20i64),
         );
+        let sql = format!("SELECT id FROM t WHERE (a = {v1} AND b = {v2}) OR b = {v3}");
         let stmt = parse_statement(&sql).expect("valid");
         let mut base = engine.execute(&mut db, &stmt).expect("executes").rows;
         base.sort();
+        let mut io = IoStats::new();
         db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
             .expect("valid");
         db.create_index(IndexDef::new("ix_b", "t", vec!["b".into()]), &mut io)
@@ -268,65 +278,43 @@ proptest! {
         db.analyze_all();
         let mut indexed = engine.execute(&mut db, &stmt).expect("executes").rows;
         indexed.sort();
-        prop_assert_eq!(base, indexed);
+        assert_eq!(base, indexed);
     }
+}
 
-    #[test]
-    fn order_by_limit_agrees_with_full_sort(
-        rows in proptest::collection::vec((0i64..50, 0i64..50), 1..100),
-        limit in 1usize..20,
-    ) {
-        let mut db = Database::new();
-        db.create_table(
-            TableSchema::new(
-                "t",
-                vec![
-                    ColumnDef::new("id", ColumnType::Int),
-                    ColumnDef::new("a", ColumnType::Int),
-                    ColumnDef::new("b", ColumnType::Int),
-                ],
-                &["id"],
-            )
-            .expect("valid"),
-        )
-        .expect("fresh");
-        let mut io = IoStats::new();
-        for (i, (a, b)) in rows.iter().enumerate() {
-            db.table_mut("t")
-                .expect("exists")
-                .insert(
-                    vec![Value::Int(i as i64), Value::Int(*a), Value::Int(*b)],
-                    &mut io,
-                )
-                .expect("unique");
-        }
-        db.analyze_all();
-        let engine = Engine::new();
+#[test]
+fn order_by_limit_agrees_with_full_sort() {
+    let mut rng = StdRng::seed_from_u64(0x0B);
+    let engine = Engine::new();
+    for _ in 0..64 {
+        let mut db = int_table(&mut rng, &["a", "b"], 100, 50);
+        let limit = rng.gen_range(1..20usize);
         let sql = format!("SELECT a, id FROM t ORDER BY a LIMIT {limit}");
         let stmt = parse_statement(&sql).expect("valid");
         let plain = engine.execute(&mut db, &stmt).expect("executes").rows;
         // With an order-providing index: early-termination path.
+        let mut io = IoStats::new();
         db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
             .expect("valid index");
         db.analyze_all();
         let fast = engine.execute(&mut db, &stmt).expect("executes").rows;
         // `a` values must match position-wise (ties may reorder ids).
-        prop_assert_eq!(plain.len(), fast.len());
+        assert_eq!(plain.len(), fast.len());
         for (p, f) in plain.iter().zip(&fast) {
-            prop_assert_eq!(&p[0], &f[0]);
+            assert_eq!(&p[0], &f[0]);
         }
     }
 }
 
-// --------------------------------------------------------------- knapsack
+// --------------------------------------------------------------- storage
 
-proptest! {
-    #[test]
-    fn storage_accounting_is_consistent(
-        n_rows in 1usize..200,
-    ) {
-        // Materialized size tracking must stay consistent through
-        // insert/create/drop cycles.
+#[test]
+fn storage_accounting_is_consistent() {
+    // Materialized size tracking must stay consistent through
+    // insert/create/drop cycles.
+    let mut rng = StdRng::seed_from_u64(0x5A);
+    for _ in 0..50 {
+        let n_rows = rng.gen_range(1..200usize);
         let mut db = Database::new();
         db.create_table(
             TableSchema::new(
@@ -347,85 +335,91 @@ proptest! {
                 .insert(vec![Value::Int(i), Value::Int(i % 7)], &mut io)
                 .expect("unique");
         }
-        prop_assert_eq!(db.total_secondary_index_bytes(), 0);
+        assert_eq!(db.total_secondary_index_bytes(), 0);
         db.create_index(IndexDef::new("ix", "t", vec!["a".into()]), &mut io)
             .expect("valid index");
         let size = db.total_secondary_index_bytes();
-        prop_assert!(size > 0);
+        assert!(size > 0);
         db.drop_index("t", "ix").expect("exists");
-        prop_assert_eq!(db.total_secondary_index_bytes(), 0);
+        assert_eq!(db.total_secondary_index_bytes(), 0);
     }
 }
 
 // ---------------------------------------------------------------- parser
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,120}") {
-        // Any input must produce Ok or Err — never a panic.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    // Any input must produce Ok or Err — never a panic.
+    let mut rng = StdRng::seed_from_u64(0x9A51C);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..=120usize);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable-heavy mix with occasional arbitrary unicode.
+                if rng.gen_bool(0.9) {
+                    (rng.gen_range(0x20..0x7fu32) as u8) as char
+                } else {
+                    char::from_u32(rng.gen_range(0..0x11_0000u32)).unwrap_or('\u{fffd}')
+                }
+            })
+            .collect();
         let _ = parse_statement(&input);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_sql_like_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT".to_string()), Just("FROM".to_string()),
-                Just("WHERE".to_string()), Just("AND".to_string()),
-                Just("OR".to_string()), Just("GROUP".to_string()),
-                Just("BY".to_string()), Just("ORDER".to_string()),
-                Just("LIMIT".to_string()), Just("(".to_string()),
-                Just(")".to_string()), Just(",".to_string()),
-                Just("=".to_string()), Just(">".to_string()),
-                Just("t".to_string()), Just("x".to_string()),
-                Just("1".to_string()), Just("'s'".to_string()),
-                Just("*".to_string()), Just("IN".to_string()),
-                Just("NOT".to_string()), Just("NULL".to_string()),
-            ],
-            0..25,
-        )
-    ) {
-        let sql = tokens.join(" ");
+#[test]
+fn parser_never_panics_on_sql_like_soup() {
+    const TOKENS: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "BY", "ORDER", "LIMIT", "(", ")", ",",
+        "=", ">", "t", "x", "1", "'s'", "*", "IN", "NOT", "NULL",
+    ];
+    let mut rng = StdRng::seed_from_u64(0x500);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..25usize);
+        let sql = (0..n)
+            .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = parse_statement(&sql);
     }
 }
 
 // ------------------------------------------------------ prepared statements
 
-proptest! {
-    #[test]
-    fn bind_then_normalize_roundtrips(a in -1000i64..1000, b in -1000i64..1000, s in "[a-z]{1,6}") {
-        use aim_exec::{bind_params, param_count};
-        use aim_sql::normalize::normalize_statement;
+#[test]
+fn bind_then_normalize_roundtrips() {
+    use aim_exec::{bind_params, param_count};
+    let mut rng = StdRng::seed_from_u64(0xB1D);
+    for _ in 0..200 {
+        let a = rng.gen_range(-1000..1000i64);
+        let b = rng.gen_range(-1000..1000i64);
+        let s = random_ident(&mut rng);
         let stmt = parse_statement(
             "SELECT id FROM t WHERE x = ? AND y > ? AND z = ? ORDER BY id LIMIT 3",
-        ).expect("valid");
-        prop_assert_eq!(param_count(&stmt), 3);
-        let bound = bind_params(
-            &stmt,
-            &[Value::Int(a), Value::Int(b), Value::Str(s)],
-        ).expect("binds");
+        )
+        .expect("valid");
+        assert_eq!(param_count(&stmt), 3);
+        let bound =
+            bind_params(&stmt, &[Value::Int(a), Value::Int(b), Value::Str(s)]).expect("binds");
         // Normalizing the bound statement recovers the prepared fingerprint.
-        prop_assert_eq!(
+        assert_eq!(
             normalize_statement(&bound).fingerprint,
             normalize_statement(&stmt).fingerprint
         );
         // And binding is exact: the bound text contains the literal values.
-        prop_assert!(bound.to_string().contains(&a.to_string()));
+        assert!(bound.to_string().contains(&a.to_string()));
     }
 }
 
 // ----------------------------------------------------------- sampled clones
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn sample_is_subset_and_monotone(
-        n_rows in 10i64..400,
-        fraction in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn sample_is_subset_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xCA);
+    for _ in 0..24 {
+        let n_rows = rng.gen_range(10..400i64);
+        let fraction: f64 = rng.gen::<f64>();
+        let seed = rng.gen_range(0..1000u64);
         let mut db = Database::new();
         db.create_table(
             TableSchema::new(
@@ -448,16 +442,20 @@ proptest! {
         }
         let s = db.sample(fraction, seed);
         let k = s.table("t").expect("exists").row_count();
-        prop_assert!(k <= n_rows as usize);
+        assert!(k <= n_rows as usize);
         // Every sampled row exists in the source (subset property).
         let mut io2 = IoStats::new();
         for row in s.table("t").expect("exists").scan_all(&mut io2) {
             let pk = vec![row[0].clone()];
             let mut io3 = IoStats::new();
-            prop_assert!(db.table("t").expect("exists").pk_lookup(&pk, &mut io3).is_some());
+            assert!(db
+                .table("t")
+                .expect("exists")
+                .pk_lookup(&pk, &mut io3)
+                .is_some());
         }
         // Same seed, same sample.
         let s2 = db.sample(fraction, seed);
-        prop_assert_eq!(k, s2.table("t").expect("exists").row_count());
+        assert_eq!(k, s2.table("t").expect("exists").row_count());
     }
 }

@@ -1,0 +1,182 @@
+//! The observability subsystem observed end to end: a deterministic tuning
+//! pass against an in-memory sink, asserting the span tree shape, the
+//! counter taxonomy, and the stability of the event sequence across
+//! identical runs.
+
+use aim_core::driver::{Aim, AimConfig};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+use aim_telemetry::{EventKind, MemorySink, ProfileNode};
+use std::sync::Mutex;
+
+/// Telemetry state is process-global; tests in this binary take turns.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut io = IoStats::new();
+    for i in 0..6000i64 {
+        db.table_mut("orders")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 300), Value::Int(i % 12)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    db.analyze_all();
+    db
+}
+
+fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).unwrap();
+    for _ in 0..n {
+        let out = engine.execute(db, &stmt).unwrap();
+        monitor.record(&stmt, &out);
+    }
+}
+
+fn aim() -> Aim {
+    Aim::new(AimConfig {
+        selection: SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            max_queries: 50,
+            include_dml: true,
+        },
+        ..Default::default()
+    })
+}
+
+/// One full observed tuning pass; returns the profile tree and the event
+/// stream captured by a fresh memory sink.
+fn traced_tune() -> (ProfileNode, Vec<aim_telemetry::Event>) {
+    let mut db = db();
+    let mut monitor = WorkloadMonitor::new();
+    observe(
+        &mut db,
+        &mut monitor,
+        "SELECT id FROM orders WHERE customer = 42",
+        20,
+    );
+
+    aim_telemetry::enable();
+    aim_telemetry::reset();
+    aim_telemetry::clear_sinks();
+    let sink = MemorySink::new();
+    let handle = sink.handle();
+    aim_telemetry::add_sink(Box::new(sink));
+
+    let outcome = aim().tune(&mut db, &monitor).unwrap();
+    assert!(
+        !outcome.created.is_empty(),
+        "fixture must create an index; rejected: {:?}",
+        outcome.rejected
+    );
+
+    let profile = aim_telemetry::take_profile();
+    let events = handle.events();
+    aim_telemetry::clear_sinks();
+    aim_telemetry::disable();
+    (profile, events)
+}
+
+#[test]
+fn span_tree_nests_all_driver_phases() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (profile, _) = traced_tune();
+
+    let tune = profile.child("aim.tune").expect("root span recorded");
+    assert_eq!(tune.count, 1);
+    for phase in [
+        "select_workload",
+        "candidate_generation",
+        "ranking",
+        "knapsack",
+        "validation",
+        "materialize",
+    ] {
+        let node = tune
+            .child(phase)
+            .unwrap_or_else(|| panic!("phase '{phase}' missing from span tree"));
+        assert!(node.count >= 1, "phase '{phase}' never entered");
+    }
+    // Deeper nesting: validation wraps the clone bed and replay rounds,
+    // candidate generation wraps derivation and merging.
+    assert!(tune.descendant("validation/clone_test_bed").is_some());
+    assert!(tune.descendant("validation/validation_round").is_some());
+    assert!(tune
+        .descendant("candidate_generation/derive_partial_orders")
+        .is_some());
+    // What-if costing nests under ranking, not at top level.
+    assert!(tune.descendant("ranking/exec.whatif").is_some());
+    // Phases never account for more time than their parent.
+    assert!(tune.children_total() <= tune.total);
+}
+
+#[test]
+fn counters_reflect_the_pass() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, _) = traced_tune();
+    // take_profile does not clear counters; read them post-pass.
+    let snap = aim_telemetry::snapshot();
+    let get = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(get("exec.whatif_calls") > 0, "what-if counter stayed zero");
+    assert!(get("exec.plans_evaluated") >= get("exec.whatif_calls"));
+    assert!(get("aim.candidates_generated") > 0);
+    assert!(get("aim.validation_rounds") > 0);
+    assert!(get("aim.indexes_created") > 0);
+}
+
+#[test]
+fn event_sequence_is_deterministic_and_well_formed() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, first) = traced_tune();
+    let (_, second) = traced_tune();
+
+    assert!(!first.is_empty(), "tuning pass emitted no events");
+    // An identical pass produces the identical event stream (modulo the
+    // process-global sequence numbers, and the TuningPass summary whose
+    // detail embeds wall-clock milliseconds).
+    let strip = |events: &[aim_telemetry::Event]| {
+        events
+            .iter()
+            .map(|e| {
+                let detail = if e.kind == EventKind::TuningPass {
+                    String::new()
+                } else {
+                    e.detail.clone()
+                };
+                (e.kind, e.target.clone(), detail)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&first), strip(&second));
+    // Sequence numbers are strictly increasing.
+    assert!(first.windows(2).all(|w| w[0].seq < w[1].seq));
+    // The accepted index is announced exactly once per created index, and
+    // the pass closes with a TuningPass summary.
+    let accepted: Vec<_> = first
+        .iter()
+        .filter(|e| e.kind == EventKind::IndexAccepted)
+        .collect();
+    assert_eq!(accepted.len(), 1);
+    assert!(accepted[0].target.starts_with("aim_"));
+    assert_eq!(first.last().unwrap().kind, EventKind::TuningPass);
+}

@@ -78,6 +78,8 @@ pub fn select_workload(monitor: &WorkloadMonitor, config: &SelectionConfig) -> V
     chosen.sort_by(|a, b| b.benefit.total_cmp(&a.benefit));
     chosen.truncate(config.max_queries);
     chosen.extend(dml);
+    aim_telemetry::metrics::gauge_set("monitor.window_queries", monitor.queries().count() as i64);
+    aim_telemetry::metrics::gauge_set("monitor.selected_queries", chosen.len() as i64);
     chosen
 }
 

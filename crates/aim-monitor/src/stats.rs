@@ -128,6 +128,7 @@ impl WorkloadMonitor {
 
     /// Records one execution of `stmt` with its outcome.
     pub fn record(&mut self, stmt: &Statement, outcome: &ExecOutcome) {
+        aim_telemetry::metrics::MONITOR_RECORDS.incr();
         let norm = normalize_statement(stmt);
         let entry = self
             .queries

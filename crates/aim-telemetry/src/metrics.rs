@@ -1,0 +1,289 @@
+//! Counters, gauges and histograms.
+//!
+//! The well-known instruments of the advisor pipeline are static atomic
+//! [`Counter`]s (zero contention, no allocation). Ad-hoc counters, gauges
+//! and log₂-bucket histograms live in a `Mutex`-guarded registry keyed by
+//! name. Everything is a no-op while telemetry is disabled, and
+//! [`snapshot`] captures the whole lot for reports and JSON artifacts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Const-constructible so counters can be statics.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (no-op while telemetry is disabled).
+    pub fn add(&self, n: u64) {
+        if crate::is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ------------------------------------------------------------ taxonomy
+// The fixed instrument set wired through the workspace. Names are
+// `layer.instrument`; layers mirror the crates.
+
+/// Optimizer what-if invocations (advisory plans + DML maintenance costing).
+pub static WHATIF_CALLS: Counter = Counter::new("exec.whatif_calls");
+/// All planner invocations, advisory and execution-bound.
+pub static PLANS_EVALUATED: Counter = Counter::new("exec.plans_evaluated");
+/// Statements run by the executor.
+pub static STATEMENTS_EXECUTED: Counter = Counter::new("exec.statements");
+/// Rows examined by the executor.
+pub static ROWS_READ: Counter = Counter::new("exec.rows_read");
+/// Pages read by the executor.
+pub static PAGES_READ: Counter = Counter::new("exec.pages_read");
+/// B+-tree descents performed by the executor.
+pub static INDEX_SEEKS: Counter = Counter::new("exec.seeks");
+/// Executions ingested by the workload monitor.
+pub static MONITOR_RECORDS: Counter = Counter::new("monitor.records");
+/// Candidate indexes produced by structural generation.
+pub static CANDIDATES_GENERATED: Counter = Counter::new("aim.candidates_generated");
+/// Pairwise partial-order merges that succeeded.
+pub static PO_MERGES: Counter = Counter::new("aim.partial_order_merges");
+/// Clone-validation rounds executed.
+pub static VALIDATION_ROUNDS: Counter = Counter::new("aim.validation_rounds");
+/// Indexes materialized on production by tuning passes.
+pub static INDEXES_CREATED: Counter = Counter::new("aim.indexes_created");
+/// Candidates rejected (validation or materialization).
+pub static INDEXES_REJECTED: Counter = Counter::new("aim.indexes_rejected");
+/// Regressions flagged by the continuous detector.
+pub static REGRESSIONS_DETECTED: Counter = Counter::new("aim.regressions_detected");
+
+static BUILTIN: &[&Counter] = &[
+    &WHATIF_CALLS,
+    &PLANS_EVALUATED,
+    &STATEMENTS_EXECUTED,
+    &ROWS_READ,
+    &PAGES_READ,
+    &INDEX_SEEKS,
+    &MONITOR_RECORDS,
+    &CANDIDATES_GENERATED,
+    &PO_MERGES,
+    &VALIDATION_ROUNDS,
+    &INDEXES_CREATED,
+    &INDEXES_REJECTED,
+    &REGRESSIONS_DETECTED,
+];
+
+// ------------------------------------------------------------ registry
+
+const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// `buckets[i]` counts values in `(2^(i-1), 2^i]`; bucket 0 is `<= 1`.
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = if v <= 1.0 {
+            0
+        } else {
+            (v.log2().ceil() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// `(inclusive upper bound, count)` for non-empty buckets.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Adds to an ad-hoc named counter in the registry.
+pub fn counter_add(name: &'static str, n: u64) {
+    if crate::is_enabled() {
+        with_registry(|r| *r.counters.entry(name).or_insert(0) += n);
+    }
+}
+
+/// Sets a gauge to an instantaneous value.
+pub fn gauge_set(name: &'static str, v: i64) {
+    if crate::is_enabled() {
+        with_registry(|r| {
+            r.gauges.insert(name, v);
+        });
+    }
+}
+
+/// Records one observation into a log₂-bucket histogram.
+pub fn histogram_record(name: &'static str, v: f64) {
+    if crate::is_enabled() {
+        with_registry(|r| r.histograms.entry(name).or_default().record(v));
+    }
+}
+
+/// Point-in-time view of every instrument.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value; builtin counters first, registry after.
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Captures all counters, gauges and histograms.
+pub fn snapshot() -> Snapshot {
+    let mut out = Snapshot::default();
+    for c in BUILTIN {
+        out.counters.push((c.name().to_string(), c.get()));
+    }
+    with_registry(|r| {
+        for (name, v) in &r.counters {
+            out.counters.push((name.to_string(), *v));
+        }
+        for (name, v) in &r.gauges {
+            out.gauges.push((name.to_string(), *v));
+        }
+        for (name, h) in &r.histograms {
+            let buckets = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| ((1u64 << i) as f64, *c))
+                .collect();
+            out.histograms.push((
+                name.to_string(),
+                HistogramSnapshot {
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets,
+                },
+            ));
+        }
+    });
+    out
+}
+
+/// Zeroes all instruments.
+pub fn reset() {
+    for c in BUILTIN {
+        c.clear();
+    }
+    with_registry(|r| *r = Registry::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        WHATIF_CALLS.add(5);
+        counter_add("custom.hits", 2);
+        gauge_set("custom.depth", -3);
+        histogram_record("custom.cost", 0.5);
+        histogram_record("custom.cost", 3.0);
+        histogram_record("custom.cost", 3000.0);
+        crate::disable();
+
+        let s = snapshot();
+        assert_eq!(s.counter("exec.whatif_calls"), Some(5));
+        assert_eq!(s.counter("custom.hits"), Some(2));
+        assert_eq!(s.gauges, vec![("custom.depth".to_string(), -3)]);
+        let (name, h) = &s.histograms[0];
+        assert_eq!(name, "custom.cost");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 3000.0);
+        // 0.5 → bucket ≤1; 3.0 → ≤4; 3000 → ≤4096.
+        assert_eq!(h.buckets, vec![(1.0, 1), (4.0, 1), (4096.0, 1)]);
+
+        crate::reset();
+        assert_eq!(snapshot().counter("exec.whatif_calls"), Some(0));
+        assert!(snapshot().histograms.is_empty());
+    }
+}

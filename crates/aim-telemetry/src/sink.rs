@@ -1,0 +1,184 @@
+//! Pluggable event sinks.
+//!
+//! Every journal event is pushed to each registered [`EventSink`] as it
+//! happens. [`MemorySink`] backs tests (shared handle to the captured
+//! events); [`JsonLinesSink`] streams events as JSON lines for the
+//! `results/` artifacts of the bench binaries.
+
+use crate::journal::Event;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives journal events as they are recorded.
+pub trait EventSink: Send {
+    fn emit(&mut self, event: &Event);
+    /// Flushes buffered output (files). Default: nothing.
+    fn flush(&mut self) {}
+}
+
+static SINKS: Mutex<Vec<Box<dyn EventSink>>> = Mutex::new(Vec::new());
+
+/// Registers a sink; it receives every subsequent event.
+pub fn add_sink(sink: Box<dyn EventSink>) {
+    SINKS.lock().unwrap_or_else(|e| e.into_inner()).push(sink);
+}
+
+/// Flushes and removes all registered sinks.
+pub fn clear_sinks() {
+    let mut sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    for s in sinks.iter_mut() {
+        s.flush();
+    }
+    sinks.clear();
+}
+
+/// Flushes every registered sink without removing it.
+pub fn flush_sinks() {
+    for s in SINKS.lock().unwrap_or_else(|e| e.into_inner()).iter_mut() {
+        s.flush();
+    }
+}
+
+pub(crate) fn dispatch(event: &Event) {
+    for s in SINKS.lock().unwrap_or_else(|e| e.into_inner()).iter_mut() {
+        s.emit(event);
+    }
+}
+
+/// Captures events in memory; the handle returned by [`MemorySink::handle`]
+/// stays valid after the sink is boxed and registered.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared view of the captured events.
+    pub fn handle(&self) -> MemorySinkHandle {
+        MemorySinkHandle {
+            events: Arc::clone(&self.events),
+        }
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Read side of a [`MemorySink`].
+#[derive(Clone)]
+pub struct MemorySinkHandle {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySinkHandle {
+    /// All events captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Clears the captured events.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+/// Streams each event as one JSON object per line.
+pub struct JsonLinesSink {
+    writer: Box<dyn Write + Send>,
+}
+
+impl JsonLinesSink {
+    /// Sink writing to (truncating) the given file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            writer: Box::new(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Sink writing to an arbitrary writer (tests, stderr...).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self { writer }
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn emit(&mut self, event: &Event) {
+        let _ = writeln!(self.writer, "{}", crate::report::event_json(event));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{event, EventKind};
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        clear_sinks();
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        add_sink(Box::new(sink));
+        crate::enable();
+        event(EventKind::IndexAccepted, "a", "first");
+        event(EventKind::IndexRejected, "b", "second");
+        crate::disable();
+        let evs = handle.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].target, "a");
+        assert_eq!(evs[1].kind, EventKind::IndexRejected);
+        clear_sinks();
+        crate::reset();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        clear_sinks();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        add_sink(Box::new(JsonLinesSink::new(Box::new(Shared(Arc::clone(&buf))))));
+        crate::enable();
+        event(EventKind::PlanChosen, "t \"x\"", "detail");
+        crate::disable();
+        clear_sinks();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"plan_chosen\""));
+        assert!(text.contains("t \\\"x\\\""));
+        crate::reset();
+    }
+}

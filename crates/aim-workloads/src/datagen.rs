@@ -5,8 +5,7 @@
 //! and AIM's selectivity reasoning care about: uniform, Zipf-skewed, and
 //! low-cardinality categorical.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 use aim_storage::Value;
 
 /// A column value distribution.

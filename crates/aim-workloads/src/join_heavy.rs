@@ -22,8 +22,7 @@ use crate::replay::QuerySpec;
 use aim_core::WeightedQuery;
 use aim_sql::parse_statement;
 use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]

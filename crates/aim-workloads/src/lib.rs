@@ -14,12 +14,15 @@
 //!   metadata of Table II, with a DBA-oracle index set.
 //! * [`replay`] — workload replay against a simulated machine capacity,
 //!   producing the CPU% / throughput time series of Figures 3 and 6.
+//! * [`rng`] — the seeded xoshiro256++ PRNG all generators draw from
+//!   (std-only; the workspace builds without external crates).
 
 pub mod datagen;
 pub mod job;
 pub mod join_heavy;
 pub mod production;
 pub mod replay;
+pub mod rng;
 pub mod tpcds;
 pub mod tpch;
 

@@ -16,8 +16,7 @@ use crate::datagen::{Distribution, RowGenerator};
 use crate::replay::QuerySpec;
 use aim_sql::parse_statement;
 use aim_storage::{ColumnDef, ColumnType, Database, IndexDef, IoStats, TableSchema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 use std::collections::BTreeSet;
 
 /// Read/write mix of a profile.
@@ -103,7 +102,7 @@ pub fn build(profile: &ProductionProfile) -> ProductionWorkload {
         let int_cols: Vec<(String, i64)> = (0..n_ints)
             .map(|ci| {
                 let ndv = *[2, 5, 10, 50, 200, 1000]
-                    .get(rng.gen_range(0..6))
+                    .get(rng.gen_range(0..6usize))
                     .expect("in range");
                 (format!("c{ci}"), ndv)
             })

@@ -13,8 +13,7 @@ use aim_exec::Engine;
 use aim_monitor::WorkloadMonitor;
 use aim_sql::ast::Statement;
 use aim_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// One workload query shape with pre-instantiated parameter variants.
 #[derive(Debug, Clone)]

@@ -1,0 +1,223 @@
+//! Self-contained pseudo-random number generation for the workload and
+//! data generators.
+//!
+//! The workspace builds offline with no external crates, so this module
+//! supplies the small slice of the `rand` API the generators use:
+//! [`StdRng`] (xoshiro256++ seeded through SplitMix64), the [`SeedableRng`]
+//! and [`Rng`] traits, `gen_range` over integer and float ranges,
+//! `gen_bool`, and `gen::<f64>()`. Generators are deterministic per seed,
+//! which the replay and figure harnesses rely on.
+//!
+//! This is a statistical PRNG for synthetic workloads — not a
+//! cryptographic one.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Splits a 64-bit seed into well-mixed state words (SplitMix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard PRNG: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Sampling helpers over a raw 64-bit source.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a `Range` or `RangeInclusive`. Panics on an
+    /// empty range, like `rand`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0, 1]: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample from the type's standard distribution (`f64`: uniform in
+    /// `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types a range can be uniformly sampled from.
+pub trait SampleRange<T> {
+    fn sample_one<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits onto `[0, span)` by widening multiply.
+fn bounded(bits: u64, span: u128) -> u128 {
+    (bits as u128).wrapping_mul(span) >> 64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_one<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty gen_range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Standard distribution of a type, for `rng.gen::<T>()`.
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v: usize = rng.gen_range(0..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "uniform over 0..6 missed a value");
+
+        for _ in 0..500 {
+            let v = rng.gen_range(3..=6);
+            assert!((3..=6).contains(&v));
+            let f = rng.gen_range(1.0..6.0);
+            assert!((1.0..6.0).contains(&f));
+            let n: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

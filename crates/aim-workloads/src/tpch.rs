@@ -16,8 +16,7 @@ use crate::datagen::{Distribution, RowGenerator};
 use aim_core::WeightedQuery;
 use aim_sql::parse_statement;
 use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// TPC-H generator configuration.
 #[derive(Debug, Clone)]

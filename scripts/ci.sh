@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Workspace CI gate: release build, full test suite, lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== ci: all checks passed"
