@@ -17,7 +17,7 @@
 //! counts, `TryCoveringIndex` flips qualifying queries to covering mode.
 
 use crate::candidates::{generate_candidates, CandidateGenConfig};
-use crate::ranking::{knapsack_select, rank_candidates, RankedCandidate};
+use crate::ranking::{knapsack_select, rank_candidates_with, RankedCandidate};
 use crate::sharding::ShardingProfile;
 use crate::validate::{validate_on_clone, RejectReason, ValidationConfig};
 use aim_exec::{Engine, ExecError};
@@ -46,6 +46,12 @@ pub struct AimConfig {
     /// re-priced for a fleet of shards sharing the physical design before
     /// knapsack selection.
     pub sharding: Option<ShardingProfile>,
+    /// Worker threads for ranking and validation replay (`0` = one per
+    /// available core). Any worker count produces bit-identical output —
+    /// contributions merge in workload order — so this knob trades wall
+    /// clock only, never results. [`ValidationConfig::workers`] overrides
+    /// it for the validation phase when non-zero.
+    pub workers: usize,
 }
 
 impl Default for AimConfig {
@@ -57,6 +63,7 @@ impl Default for AimConfig {
             storage_budget: u64::MAX,
             skip_validation: false,
             sharding: None,
+            workers: 0,
         }
     }
 }
@@ -149,7 +156,13 @@ impl Aim {
         // 3. Ranking + knapsack under the remaining budget.
         let mut ranked = {
             let _s = tel::span("ranking");
-            rank_candidates(db, &workload, &candidates, &self.engine.cost_model)
+            rank_candidates_with(
+                db,
+                &workload,
+                &candidates,
+                &self.engine.cost_model,
+                self.config.workers,
+            )
         };
         if let Some(profile) = &self.config.sharding {
             profile.apply(&mut ranked);
@@ -174,13 +187,11 @@ impl Aim {
             chosen
         } else {
             let _s = tel::span("validation");
-            let result = validate_on_clone(
-                db,
-                &workload,
-                &chosen,
-                &self.engine,
-                &self.config.validation,
-            )?;
+            let mut vcfg = self.config.validation.clone();
+            if vcfg.workers == 0 {
+                vcfg.workers = self.config.workers;
+            }
+            let result = validate_on_clone(db, &workload, &chosen, &self.engine, &vcfg)?;
             for (r, reason) in result.rejected {
                 let reason = reject_text(&reason);
                 tel::metrics::INDEXES_REJECTED.incr();

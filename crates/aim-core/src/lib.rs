@@ -86,6 +86,6 @@ pub use continuous::{
 pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
 pub use metadata::{analyze_structure, FactorGroup, OpClass, QueryStructure, TableInfo};
 pub use partial_order::{merge_partial_orders, PartialOrder};
-pub use ranking::{knapsack_select, rank_candidates, RankedCandidate};
+pub use ranking::{knapsack_select, rank_candidates, rank_candidates_with, RankedCandidate};
 pub use sharding::ShardingProfile;
 pub use validate::{validate_on_clone, RejectReason, ValidationConfig, ValidationOutcome};

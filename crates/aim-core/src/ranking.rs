@@ -14,14 +14,13 @@
 //! per byte of storage until the budget is exhausted.
 
 use crate::candidates::CandidateIndex;
-use aim_exec::{
-    estimate_statement_cost, plan_select, CostModel, HypoConfig, HypotheticalIndex, IndexChoice,
-};
+use aim_exec::{estimate_statement_cost, CostModel, HypoConfig, HypotheticalIndex};
 use aim_monitor::WorkloadQuery;
 use aim_sql::ast::{Select, SelectItem, Statement};
 use aim_sql::normalize::QueryFingerprint;
 use aim_storage::{Database, IndexDef};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A candidate with its computed economics.
 #[derive(Debug, Clone)]
@@ -90,112 +89,220 @@ fn where_select(table: &str, where_clause: Option<&aim_sql::ast::Expr>) -> Selec
     }
 }
 
+/// What one workload query contributes to the ranking: benefit shares and
+/// maintenance overheads per candidate index. Evaluating a query is a pure
+/// function of `(db, query, candidates)`, which is what makes the
+/// per-query fan-out below safe; merging contributions *in workload order*
+/// is what makes it bit-identical to the sequential pass.
+struct QueryContribution {
+    fingerprint: QueryFingerprint,
+    /// `(candidate index, benefit share)` in plan-usage order.
+    benefit: Vec<(usize, f64)>,
+    /// `(candidate index, maintenance overhead)` in candidate order.
+    maintenance: Vec<(usize, f64)>,
+}
+
+/// Evaluates one workload query against all candidates (Eqs. 7–8). All
+/// what-if costing goes through the process-global [`aim_exec::whatif`]
+/// cache, so repeated subexpressions — the empty config, the
+/// "config minus one index" probes of the marginal loop, and the entire
+/// workload on a second tuning pass — are answered without replanning.
+fn eval_query(
+    db: &Database,
+    wq: &WorkloadQuery,
+    candidates: &[CandidateIndex],
+    hypos: &[(usize, Arc<HypotheticalIndex>)],
+    empty_cfg: &HypoConfig,
+    cm: &CostModel,
+) -> QueryContribution {
+    let cache = aim_exec::whatif::global();
+    let mut out = QueryContribution {
+        fingerprint: wq.stats.fingerprint,
+        benefit: Vec::new(),
+        maintenance: Vec::new(),
+    };
+
+    // ---------------------------------------------------- benefit (Eq. 7)
+    if let Some(select) = benefit_select(&wq.stats.exemplar) {
+        // Candidates generated for this query.
+        let relevant: Vec<(usize, Arc<HypotheticalIndex>)> = hypos
+            .iter()
+            .filter(|(i, _)| candidates[*i].sources.contains(&wq.stats.fingerprint))
+            .map(|(i, h)| (*i, Arc::clone(h)))
+            .collect();
+        if !relevant.is_empty() {
+            let cost_empty = cache
+                .eval_select(db, &select, empty_cfg, cm)
+                .map(|e| e.cost)
+                .unwrap_or(f64::INFINITY);
+            let cfg =
+                HypoConfig::shared(relevant.iter().map(|(_, h)| Arc::clone(h)).collect());
+            if let Ok(entry) = cache.eval_select(db, &select, &cfg, cm) {
+                let cost_with = entry.cost;
+                if cost_empty.is_finite() && cost_empty > 0.0 && cost_with < cost_empty {
+                    let u_plus = (cost_empty - cost_with) / cost_empty * wq.stats.total_cpu;
+                    // Which relevant hypos did the plan use? The cache
+                    // remembers them by definition identity, which is
+                    // stable across config orderings (unlike positions).
+                    let used: Vec<usize> = entry
+                        .used_hypos
+                        .iter()
+                        .filter_map(|dk| {
+                            relevant
+                                .iter()
+                                .find(|(_, h)| h.def_key() == *dk)
+                                .map(|(i, _)| *i)
+                        })
+                        .collect();
+                    if !used.is_empty() {
+                        // Shares proportional to marginal contribution.
+                        // "Config minus one index" subsets share the
+                        // already-built Arcs and their costs are memoized,
+                        // so overlapping subsets across used indexes (and
+                        // across queries with the same relevant set) are
+                        // planned once.
+                        let mut marginals: Vec<f64> = Vec::with_capacity(used.len());
+                        for &uix in &used {
+                            let without = HypoConfig::shared(
+                                relevant
+                                    .iter()
+                                    .filter(|(i, _)| *i != uix)
+                                    .map(|(_, h)| Arc::clone(h))
+                                    .collect(),
+                            );
+                            let c_without = cache
+                                .eval_select(db, &select, &without, cm)
+                                .map(|e| e.cost)
+                                .unwrap_or(cost_empty);
+                            marginals.push((c_without - cost_with).max(0.0));
+                        }
+                        let total: f64 = marginals.iter().sum();
+                        for (&uix, &m) in used.iter().zip(&marginals) {
+                            let share = if total > 0.0 {
+                                m / total
+                            } else {
+                                1.0 / used.len() as f64
+                            };
+                            out.benefit.push((uix, share * u_plus));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ maintenance (Eq. 8)
+    if wq.stats.is_dml() {
+        let stmt = &wq.stats.exemplar;
+        let base = estimate_statement_cost(db, stmt, empty_cfg, cm).unwrap_or(0.0);
+        if base > 0.0 {
+            for (i, h) in hypos {
+                // Only indexes on the written table can be affected.
+                if written_table(stmt) != Some(h.def.table.as_str()) {
+                    continue;
+                }
+                let one = HypoConfig::shared(vec![Arc::clone(h)]);
+                let with = estimate_statement_cost(db, stmt, &one, cm).unwrap_or(base);
+                let overhead = ((with - base) / base).max(0.0) * wq.stats.total_cpu;
+                out.maintenance.push((*i, overhead));
+            }
+        }
+    }
+
+    out
+}
+
+/// Resolves a worker-count knob: `0` means [`std::thread::available_parallelism`],
+/// and the result is clamped to `[1, items]` so small inputs never spawn
+/// idle threads.
+pub(crate) fn effective_workers(requested: usize, items: usize) -> usize {
+    let w = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    w.clamp(1, items.max(1))
+}
+
 /// Ranks candidates against the workload. Returns candidates with their
 /// benefit/maintenance economics, sorted by descending utility density.
+///
+/// Uses one worker per available core (see [`rank_candidates_with`] for an
+/// explicit worker count); the result is bit-identical regardless of
+/// worker count.
 pub fn rank_candidates(
     db: &Database,
     workload: &[WorkloadQuery],
     candidates: &[CandidateIndex],
     cm: &CostModel,
 ) -> Vec<RankedCandidate> {
-    // Build hypothetical indexes once; drop unbuildable candidates.
-    let mut hypos: Vec<(usize, HypotheticalIndex)> = Vec::new();
+    rank_candidates_with(db, workload, candidates, cm, 0)
+}
+
+/// [`rank_candidates`] with an explicit worker count (`0` = auto).
+///
+/// Workload queries are evaluated independently — each produces a
+/// [`QueryContribution`] — on `workers` scoped threads over contiguous
+/// chunks, then merged on the calling thread *in workload order*. Since
+/// f64 accumulation happens in the same order as the sequential loop, the
+/// output is bit-identical for any worker count.
+pub fn rank_candidates_with(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    candidates: &[CandidateIndex],
+    cm: &CostModel,
+    workers: usize,
+) -> Vec<RankedCandidate> {
+    // Build hypothetical indexes once, shared; drop unbuildable candidates.
+    let mut hypos: Vec<(usize, Arc<HypotheticalIndex>)> = Vec::new();
     for (i, c) in candidates.iter().enumerate() {
         let def = IndexDef::new(c.name(), c.table.clone(), c.columns.clone());
         if let Some(h) = HypotheticalIndex::build(db, def) {
-            hypos.push((i, h));
+            hypos.push((i, Arc::new(h)));
         }
     }
+    let empty_cfg = HypoConfig::only(Vec::new());
+
+    let workers = effective_workers(workers, workload.len());
+    let contributions: Vec<QueryContribution> = if workers <= 1 {
+        workload
+            .iter()
+            .map(|wq| eval_query(db, wq, candidates, &hypos, &empty_cfg, cm))
+            .collect()
+    } else {
+        let chunk = workload.len().div_ceil(workers);
+        let hypos = &hypos;
+        let empty_cfg = &empty_cfg;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = workload
+                .chunks(chunk)
+                .map(|queries| {
+                    s.spawn(move || {
+                        queries
+                            .iter()
+                            .map(|wq| eval_query(db, wq, candidates, hypos, empty_cfg, cm))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Joining in spawn order restores workload order exactly.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("ranking worker panicked"))
+                .collect()
+        })
+    };
 
     let mut benefit: BTreeMap<usize, f64> = BTreeMap::new();
     let mut maintenance: BTreeMap<usize, f64> = BTreeMap::new();
     let mut attribution: BTreeMap<usize, Vec<(QueryFingerprint, f64)>> = BTreeMap::new();
-
-    let empty_cfg = HypoConfig::only(Vec::new());
-    for wq in workload {
-        // ------------------------------------------------ benefit (Eq. 7)
-        if let Some(select) = benefit_select(&wq.stats.exemplar) {
-            // Candidates generated for this query.
-            let relevant: Vec<(usize, HypotheticalIndex)> = hypos
-                .iter()
-                .filter(|(i, _)| candidates[*i].sources.contains(&wq.stats.fingerprint))
-                .map(|(i, h)| (*i, h.clone()))
-                .collect();
-            if !relevant.is_empty() {
-                let cost_empty = plan_select(db, &select, &empty_cfg, cm)
-                    .map(|p| p.est_cost)
-                    .unwrap_or(f64::INFINITY);
-                let cfg = HypoConfig::only(relevant.iter().map(|(_, h)| h.clone()).collect());
-                if let Ok(plan) = plan_select(db, &select, &cfg, cm) {
-                    let cost_with = plan.est_cost;
-                    if cost_empty.is_finite() && cost_empty > 0.0 && cost_with < cost_empty {
-                        let u_plus =
-                            (cost_empty - cost_with) / cost_empty * wq.stats.total_cpu;
-                        // Which relevant hypos did the plan use?
-                        let used: Vec<usize> = plan
-                            .used_indexes()
-                            .iter()
-                            .filter_map(|(_, choice)| match choice {
-                                IndexChoice::Hypothetical(k) => Some(relevant[*k].0),
-                                _ => None,
-                            })
-                            .collect();
-                        if !used.is_empty() {
-                            // Shares proportional to marginal contribution.
-                            let mut marginals: Vec<f64> = Vec::with_capacity(used.len());
-                            for &uix in &used {
-                                let without: Vec<HypotheticalIndex> = relevant
-                                    .iter()
-                                    .filter(|(i, _)| *i != uix)
-                                    .map(|(_, h)| h.clone())
-                                    .collect();
-                                let c_without =
-                                    plan_select(db, &select, &HypoConfig::only(without), cm)
-                                        .map(|p| p.est_cost)
-                                        .unwrap_or(cost_empty);
-                                marginals.push((c_without - cost_with).max(0.0));
-                            }
-                            let total: f64 = marginals.iter().sum();
-                            for (&uix, &m) in used.iter().zip(&marginals) {
-                                let share = if total > 0.0 {
-                                    m / total
-                                } else {
-                                    1.0 / used.len() as f64
-                                };
-                                let b = share * u_plus;
-                                *benefit.entry(uix).or_default() += b;
-                                attribution
-                                    .entry(uix)
-                                    .or_default()
-                                    .push((wq.stats.fingerprint, b));
-                            }
-                        }
-                    }
-                }
-            }
+    for c in contributions {
+        for (i, b) in c.benefit {
+            *benefit.entry(i).or_default() += b;
+            attribution.entry(i).or_default().push((c.fingerprint, b));
         }
-
-        // -------------------------------------------- maintenance (Eq. 8)
-        if wq.stats.is_dml() {
-            let stmt = &wq.stats.exemplar;
-            let base = estimate_statement_cost(db, stmt, &empty_cfg, cm).unwrap_or(0.0);
-            if base > 0.0 {
-                for (i, h) in &hypos {
-                    // Only indexes on the written table can be affected.
-                    if written_table(stmt) != Some(h.def.table.as_str()) {
-                        continue;
-                    }
-                    let with = estimate_statement_cost(
-                        db,
-                        stmt,
-                        &HypoConfig::only(vec![h.clone()]),
-                        cm,
-                    )
-                    .unwrap_or(base);
-                    let overhead = ((with - base) / base).max(0.0) * wq.stats.total_cpu;
-                    *maintenance.entry(*i).or_default() += overhead;
-                }
-            }
+        for (i, m) in c.maintenance {
+            *maintenance.entry(i).or_default() += m;
         }
     }
 
@@ -461,6 +568,75 @@ mod tests {
         // The wide candidate must absorb its chosen prefix and fit.
         assert_eq!(chosen.len(), 1);
         assert_eq!(chosen[0].candidate.columns, vec!["a", "b"]);
+    }
+
+    fn assert_bit_identical(a: &[RankedCandidate], b: &[RankedCandidate]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.candidate.name(), y.candidate.name());
+            assert_eq!(x.size_bytes, y.size_bytes);
+            assert_eq!(x.benefit.to_bits(), y.benefit.to_bits(), "{}", x.explanation());
+            assert_eq!(x.maintenance.to_bits(), y.maintenance.to_bits());
+            assert_eq!(x.benefiting_queries.len(), y.benefiting_queries.len());
+            for ((fa, ba), (fb, bb)) in
+                x.benefiting_queries.iter().zip(&y.benefiting_queries)
+            {
+                assert_eq!(fa, fb);
+                assert_eq!(ba.to_bits(), bb.to_bits());
+            }
+        }
+    }
+
+    fn mixed_workload(db: &mut Database) -> Vec<WorkloadQuery> {
+        workload(
+            db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 20),
+                ("SELECT id FROM t WHERE c = 7", 10),
+                ("SELECT id FROM t WHERE b = 2 AND c > 100", 15),
+                ("SELECT id FROM t WHERE a = 1 AND b = 3", 5),
+                ("UPDATE t SET a = 3 WHERE id = 17", 25),
+                ("DELETE FROM t WHERE c = 999", 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn parallel_ranking_is_bit_identical_to_sequential() {
+        let mut db = db();
+        let w = mixed_workload(&mut db);
+        let cands = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        let cm = CostModel::default();
+        let sequential = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        let parallel = rank_candidates_with(&db, &w, &cands, &cm, 4);
+        assert!(!sequential.is_empty());
+        assert_bit_identical(&sequential, &parallel);
+    }
+
+    #[test]
+    fn cached_ranking_matches_uncached() {
+        let mut db = db();
+        let w = mixed_workload(&mut db);
+        let cands = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        let cm = CostModel::default();
+        let cache = aim_exec::whatif::global();
+        cache.set_enabled(false);
+        let cold = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        cache.set_enabled(true);
+        // Twice with the cache on: the second pass runs almost entirely
+        // off memoized entries and must still match the uncached pass.
+        let warm = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        let hot = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        assert_bit_identical(&cold, &warm);
+        assert_bit_identical(&cold, &hot);
+    }
+
+    #[test]
+    fn workers_zero_resolves_to_available_parallelism() {
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert_eq!(effective_workers(0, 0), 1);
     }
 
     #[test]

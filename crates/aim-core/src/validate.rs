@@ -12,8 +12,9 @@
 //!    rejected and validation repeats until stable.
 
 use crate::ranking::RankedCandidate;
-use aim_exec::{Engine, ExecError};
+use aim_exec::{Engine, ExecError, ExecOutcome};
 use aim_monitor::WorkloadQuery;
+use aim_sql::ast::Statement;
 use aim_sql::normalize::QueryFingerprint;
 use aim_storage::{Database, IndexDef, IoStats};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,6 +43,12 @@ pub struct ValidationConfig {
     pub sample_fraction: Option<f64>,
     /// Seed for the deterministic sample.
     pub sample_seed: u64,
+    /// Replay worker threads (`0` = one per available core). Parallel
+    /// replay engages only for pure-SELECT workloads, where it is
+    /// bit-identical to the sequential pass; workloads containing DML
+    /// always replay sequentially so statements observe each other's
+    /// mutations in workload order, exactly as before.
+    pub workers: usize,
 }
 
 impl Default for ValidationConfig {
@@ -54,8 +61,88 @@ impl Default for ValidationConfig {
             max_rounds: 3,
             sample_fraction: None,
             sample_seed: 0x5A11,
+            workers: 0,
         }
     }
+}
+
+/// What one replayed statement contributes to the validation verdict:
+/// its measured cost and which of the candidate indexes its plan used.
+fn observe(out: &ExecOutcome, names: &[String]) -> (f64, BTreeSet<String>) {
+    let mut used_here: BTreeSet<String> = BTreeSet::new();
+    for (_, choice) in out.plan.used_indexes() {
+        if let aim_exec::IndexChoice::Secondary(name) = choice {
+            if names.contains(&name) {
+                used_here.insert(name);
+            }
+        }
+    }
+    (out.cost, used_here)
+}
+
+/// Replays the workload's exemplars against `db`, returning one
+/// observation per workload query (None where execution failed).
+///
+/// Pure-SELECT workloads fan out over `workers` scoped threads sharing the
+/// database read-only ([`Engine::execute_select`] takes `&Database`), so
+/// no per-worker clones are needed and — execution cost being a
+/// deterministic function of data + plan — the observations are identical
+/// to a sequential replay. Any DML in the workload forces one worker: DML
+/// must see prior statements' mutations in workload order.
+fn replay_workload(
+    db: &mut Database,
+    workload: &[WorkloadQuery],
+    engine: &Engine,
+    names: &[String],
+    workers: usize,
+) -> Vec<Option<(f64, BTreeSet<String>)>> {
+    let read_only = workload
+        .iter()
+        .all(|wq| matches!(wq.stats.exemplar, Statement::Select(_)));
+    let workers = if read_only {
+        crate::ranking::effective_workers(workers, workload.len())
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return workload
+            .iter()
+            .map(|wq| {
+                engine
+                    .execute(db, &wq.stats.exemplar)
+                    .ok()
+                    .map(|out| observe(&out, names))
+            })
+            .collect();
+    }
+    let chunk = workload.len().div_ceil(workers);
+    let db = &*db;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workload
+            .chunks(chunk)
+            .map(|queries| {
+                s.spawn(move || {
+                    queries
+                        .iter()
+                        .map(|wq| {
+                            let Statement::Select(sel) = &wq.stats.exemplar else {
+                                return None;
+                            };
+                            engine
+                                .execute_select(db, sel)
+                                .ok()
+                                .map(|out| observe(&out, names))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order restores workload order exactly.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("validation worker panicked"))
+            .collect()
+    })
 }
 
 /// Why a candidate was rejected during validation.
@@ -101,25 +188,36 @@ pub fn validate_on_clone(
     let mut rejected: Vec<(RankedCandidate, RejectReason)> = Vec::new();
 
     // The test bed: a full logical copy, or MyShadow's sampled one.
-    let bed: Database = {
+    let mut bed: Database = {
         let _s = aim_telemetry::span("clone_test_bed");
         match cfg.sample_fraction {
             Some(f) if f < 1.0 => db.sample(f, cfg.sample_seed),
             _ => db.clone(),
         }
     };
-    let db = &bed;
 
-    // Baseline measured costs on an untouched clone.
+    // Baseline measured costs, before any index is materialized. A
+    // pure-SELECT replay cannot mutate the bed, so it runs directly on it;
+    // only a workload containing DML still needs a protective copy (its
+    // mutations would otherwise leak into every round's clone).
     let _baseline_span = aim_telemetry::span("baseline_replay");
-    let mut baseline_db = db.clone();
+    let read_only = workload
+        .iter()
+        .all(|wq| matches!(wq.stats.exemplar, Statement::Select(_)));
+    let baseline_obs = if read_only {
+        replay_workload(&mut bed, workload, engine, &[], cfg.workers)
+    } else {
+        let mut baseline_db = bed.clone();
+        replay_workload(&mut baseline_db, workload, engine, &[], cfg.workers)
+    };
     let mut baseline: BTreeMap<QueryFingerprint, f64> = BTreeMap::new();
-    for wq in workload {
-        if let Ok(out) = engine.execute(&mut baseline_db, &wq.stats.exemplar) {
-            baseline.insert(wq.stats.fingerprint, out.cost);
+    for (wq, ob) in workload.iter().zip(&baseline_obs) {
+        if let Some((cost, _)) = ob {
+            baseline.insert(wq.stats.fingerprint, *cost);
         }
     }
     drop(_baseline_span);
+    let db = &bed;
 
     // Set only when a full round completes with nothing rejected — i.e.
     // the surviving set was actually re-validated as a whole.
@@ -166,21 +264,13 @@ pub fn validate_on_clone(
         let mut improved = false;
         let mut total_before = 0.0f64;
         let mut total_after = 0.0f64;
-        for wq in workload {
-            let Ok(out) = engine.execute(&mut clone, &wq.stats.exemplar) else {
+        let observations = replay_workload(&mut clone, workload, engine, &names, cfg.workers);
+        for (wq, ob) in workload.iter().zip(observations) {
+            let Some((after, used_here)) = ob else {
                 continue;
             };
-            let mut used_here: BTreeSet<String> = BTreeSet::new();
-            for (_, choice) in out.plan.used_indexes() {
-                if let aim_exec::IndexChoice::Secondary(name) = choice {
-                    if names.contains(&name) {
-                        used_here.insert(name);
-                    }
-                }
-            }
             used.extend(used_here.iter().cloned());
             if let Some(&before) = baseline.get(&wq.stats.fingerprint) {
-                let after = out.cost;
                 let weight = wq.stats.executions.max(1) as f64;
                 total_before += before * weight;
                 total_after += after * weight;
@@ -579,6 +669,45 @@ mod tests {
         );
         // Production untouched either way.
         assert!(db.all_indexes().is_empty());
+    }
+
+    #[test]
+    fn parallel_validation_matches_sequential_for_read_only_workload() {
+        let mut db = db();
+        let (w, chosen) = pipeline(
+            &mut db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 10),
+                ("SELECT id FROM t WHERE b = 2", 10),
+                ("SELECT id FROM t WHERE a = 9 AND b = 1", 5),
+            ],
+        );
+        assert!(!chosen.is_empty());
+        let run = |workers: usize| {
+            validate_on_clone(
+                &db,
+                &w,
+                &chosen,
+                &Engine::new(),
+                &ValidationConfig {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        let names = |o: &ValidationOutcome| {
+            (
+                o.accepted.iter().map(|r| r.candidate.name()).collect::<Vec<_>>(),
+                o.rejected
+                    .iter()
+                    .map(|(r, why)| (r.candidate.name(), why.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(names(&seq), names(&par));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! role HypoPG plays for PostgreSQL in the paper's experiments.
 
 use aim_storage::{Database, IndexDef, TableStats};
+use std::sync::Arc;
 
 /// A hypothetical index: definition plus estimated physical footprint.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,13 +63,37 @@ impl HypotheticalIndex {
     pub fn width(&self) -> usize {
         self.def.columns.len()
     }
+
+    /// Stable identity of the index *definition* (table + key columns, not
+    /// the name): the unit the what-if cache uses to remember which
+    /// hypothetical indexes a cached plan used.
+    pub fn def_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.def.table.as_bytes());
+        for c in &self.def.columns {
+            eat(b"|");
+            eat(c.as_bytes());
+        }
+        h
+    }
 }
 
 /// A what-if configuration: a set of hypothetical indexes overlaid on
 /// whatever is already materialized in the database.
+///
+/// Indexes are held behind [`Arc`] so that building per-query / per-subset
+/// configurations (the ranking marginal-attribution loop, baseline
+/// enumeration) shares one allocation per hypothetical index instead of
+/// deep-cloning key-column vectors for every what-if call.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct HypoConfig {
-    pub indexes: Vec<HypotheticalIndex>,
+    pub indexes: Vec<Arc<HypotheticalIndex>>,
     /// If false, the planner ignores materialized secondary indexes and
     /// sees *only* the hypothetical ones (used when advisors evaluate
     /// configurations from scratch on an unindexed database).
@@ -87,6 +112,15 @@ impl HypoConfig {
     /// Configuration of only the given hypothetical indexes.
     pub fn only(indexes: Vec<HypotheticalIndex>) -> Self {
         Self {
+            indexes: indexes.into_iter().map(Arc::new).collect(),
+            include_materialized: false,
+        }
+    }
+
+    /// Configuration of only the given shared hypothetical indexes (no
+    /// per-index allocation — the cheap path for subset enumeration).
+    pub fn shared(indexes: Vec<Arc<HypotheticalIndex>>) -> Self {
+        Self {
             indexes,
             include_materialized: false,
         }
@@ -103,6 +137,26 @@ impl HypoConfig {
             .iter()
             .enumerate()
             .filter(move |(_, h)| h.def.table == table)
+            .map(|(i, h)| (i, h.as_ref()))
+    }
+
+    /// Order-insensitive canonical key of this configuration (sorted index
+    /// identities + the materialized-index visibility flag). Two configs
+    /// with the same key cost every statement identically, so this is the
+    /// config component of the what-if cache key.
+    pub fn canonical_key(&self) -> u64 {
+        let mut keys: Vec<u64> = self.indexes.iter().map(|h| h.def_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for k in keys {
+            for b in k.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h ^= u64::from(self.include_materialized);
+        h
     }
 }
 

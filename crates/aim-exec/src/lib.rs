@@ -50,6 +50,7 @@ pub mod hypothetical;
 pub mod planner;
 pub mod prepare;
 pub mod predicate;
+pub mod whatif;
 
 pub use bind::{Binder, BoundColumn, BoundTable};
 pub use cost::{CostModel, OptimizerSwitches};
@@ -62,3 +63,4 @@ pub use planner::{
 };
 pub use predicate::{JoinPred, PredicateAnalysis, Sarg, SargValue};
 pub use prepare::{bind_params, param_count};
+pub use whatif::{whatif_cost, WhatIfCache, WhatIfCacheStats, WhatIfEntry};

@@ -1027,7 +1027,7 @@ pub fn estimate_statement_cost(
     cm: &CostModel,
 ) -> Result<f64, ExecError> {
     match stmt {
-        Statement::Select(s) => Ok(plan_select(db, s, config, cm)?.est_cost),
+        Statement::Select(s) => Ok(crate::whatif::global().eval_select(db, s, config, cm)?.cost),
         Statement::Insert(i) => {
             // Arithmetic costing, but still one what-if question answered —
             // count it so advisor accounting matches the Select/DML paths
@@ -1102,8 +1102,8 @@ fn dml_where_cost(
         order_by: Vec::new(),
         limit: None,
     };
-    let plan = plan_select(db, &select, config, cm)?;
-    Ok((plan.est_cost, plan.result_rows))
+    let entry = crate::whatif::global().eval_select(db, &select, config, cm)?;
+    Ok((entry.cost, entry.rows))
 }
 
 #[cfg(test)]
@@ -1186,7 +1186,7 @@ mod tests {
         let h =
             HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
         let cfg = HypoConfig {
-            indexes: vec![h],
+            indexes: vec![h.into()],
             include_materialized: true,
         };
         let p = plan_sql(&db, "SELECT a, id FROM t WHERE a = 5", &cfg);
@@ -1205,7 +1205,7 @@ mod tests {
         let h =
             HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
         let cfg = HypoConfig {
-            indexes: vec![h],
+            indexes: vec![h.into()],
             include_materialized: true,
         };
         let with_ix = plan_sql(&db, "SELECT a, id FROM t WHERE a = 5", &cfg);
@@ -1440,7 +1440,7 @@ mod tests {
         let h = HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()]))
             .unwrap();
         let cfg = HypoConfig {
-            indexes: vec![h],
+            indexes: vec![h.into()],
             include_materialized: true,
         };
         let with_ix = estimate_statement_cost(&db, &ins, &cfg, &cm).unwrap();
@@ -1460,7 +1460,7 @@ mod tests {
             &db,
             &upd,
             &HypoConfig {
-                indexes: vec![h_b],
+                indexes: vec![h_b.into()],
                 include_materialized: true,
             },
             &cm,
@@ -1470,7 +1470,7 @@ mod tests {
             &db,
             &upd,
             &HypoConfig {
-                indexes: vec![h_a],
+                indexes: vec![h_a.into()],
                 include_materialized: true,
             },
             &cm,

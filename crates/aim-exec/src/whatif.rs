@@ -1,0 +1,447 @@
+//! Memoized what-if costing — the advisor's hot-path cache.
+//!
+//! Every index advisor in this workspace is dominated by what-if optimizer
+//! calls (§III-F, Eqs. 7–8): the same `(statement, hypothetical
+//! configuration)` pair is re-planned by the ranking benefit loop, the
+//! marginal-attribution loop, the maintenance loop, and again on the next
+//! tuning pass. [`WhatIfCache`] memoizes the numbers a caller actually
+//! consumes — estimated cost, estimated result rows, and *which*
+//! hypothetical indexes the plan used — keyed by:
+//!
+//! * the database [`instance id`](aim_storage::Database::instance_id) and
+//!   [`stats epoch`](aim_storage::Database::stats_epoch), so any data
+//!   mutation, index change or statistics drift invalidates entries without
+//!   any explicit flush protocol,
+//! * a fingerprint of the statement's printed form (literals included —
+//!   unlike the monitor's normalized fingerprint, two constants with
+//!   different selectivities must not share a cost), and
+//! * the [`HypoConfig::canonical_key`] (order-insensitive) combined with a
+//!   fingerprint of the [`CostModel`].
+//!
+//! The cache is sharded (`Mutex<HashMap>` per shard) so parallel ranking
+//! workers contend only on colliding shards, and it is safe to share one
+//! process-global instance ([`global`]) across advisors: epoch keying makes
+//! stale hits impossible, clones get fresh instance ids, and a capacity
+//! bound keeps long-lived processes from accumulating dead epochs.
+
+use crate::cost::CostModel;
+use crate::error::ExecError;
+use crate::hypothetical::HypoConfig;
+use crate::planner::{plan_select, IndexChoice};
+use aim_sql::ast::{Select, Statement};
+use aim_storage::Database;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+/// Per-shard entry bound; a full shard is cleared wholesale (entries are
+/// cheap to recompute and epoch churn retires them anyway).
+const SHARD_CAPACITY: usize = 1 << 16;
+
+/// FNV-1a accumulator usable as a `fmt::Write` sink, so statements hash
+/// straight off their `Display` impl without an intermediate `String`.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Fingerprint of a SELECT's printed form (literals included).
+pub fn select_fingerprint(select: &Select) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{select}");
+    w.0
+}
+
+/// Fingerprint of any statement's printed form (literals included).
+pub fn statement_fingerprint(stmt: &Statement) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{stmt}");
+    w.0
+}
+
+fn context_key(config: &HypoConfig, cm: &CostModel) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{cm:?}");
+    w.0 ^ config.canonical_key().rotate_left(17)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    db: u64,
+    epoch: u64,
+    stmt: u64,
+    ctx: u64,
+}
+
+impl Key {
+    fn shard(&self) -> usize {
+        // Mix so sequential statement hashes spread across shards.
+        let mut x = self.stmt ^ self.ctx.rotate_left(32) ^ self.db ^ self.epoch;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (x >> 59) as usize % SHARDS
+    }
+}
+
+/// What a memoized what-if call remembers: everything the advisor pipeline
+/// reads off a plan without re-planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfEntry {
+    /// Estimated plan cost (`Plan::est_cost`).
+    pub cost: f64,
+    /// Estimated result rows (`Plan::result_rows`) — DML costing needs it.
+    pub rows: f64,
+    /// [`HypotheticalIndex::def_key`](crate::HypotheticalIndex::def_key)s
+    /// of the hypothetical indexes the plan used, in plan order.
+    pub used_hypos: Vec<u64>,
+}
+
+/// Point-in-time cache effectiveness numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WhatIfCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+impl WhatIfCacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded memo table for what-if optimizer calls.
+pub struct WhatIfCache {
+    shards: Vec<Mutex<HashMap<Key, WhatIfEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl Default for WhatIfCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WhatIfCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turns memoization on/off. Disabled, [`WhatIfCache::eval_select`]
+    /// plans every call — the pre-cache sequential behaviour, kept for
+    /// benchmarking and bisection.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when memoization is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry and zeroes the hit/miss counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Current effectiveness numbers.
+    pub fn stats(&self) -> WhatIfCacheStats {
+        WhatIfCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+                .sum(),
+        }
+    }
+
+    fn lookup(&self, key: &Key) -> Option<WhatIfEntry> {
+        let found = self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                aim_telemetry::metrics::WHATIF_CACHE_HITS.incr();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                aim_telemetry::metrics::WHATIF_CACHE_MISSES.incr();
+            }
+        }
+        found
+    }
+
+    fn insert(&self, key: Key, entry: WhatIfEntry) {
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= SHARD_CAPACITY {
+            shard.clear();
+        }
+        shard.insert(key, entry);
+    }
+
+    /// Memoized what-if evaluation of a SELECT under `config`: returns the
+    /// cached entry, or plans via [`plan_select`] and remembers the result.
+    pub fn eval_select(
+        &self,
+        db: &Database,
+        select: &Select,
+        config: &HypoConfig,
+        cm: &CostModel,
+    ) -> Result<WhatIfEntry, ExecError> {
+        if !self.is_enabled() {
+            return plan_to_entry(db, select, config, cm);
+        }
+        let key = Key {
+            db: db.instance_id(),
+            epoch: db.stats_epoch(),
+            stmt: select_fingerprint(select),
+            ctx: context_key(config, cm),
+        };
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let entry = plan_to_entry(db, select, config, cm)?;
+        self.insert(key, entry.clone());
+        Ok(entry)
+    }
+}
+
+fn plan_to_entry(
+    db: &Database,
+    select: &Select,
+    config: &HypoConfig,
+    cm: &CostModel,
+) -> Result<WhatIfEntry, ExecError> {
+    let plan = plan_select(db, select, config, cm)?;
+    let used_hypos = plan
+        .used_indexes()
+        .iter()
+        .filter_map(|(_, choice)| match choice {
+            IndexChoice::Hypothetical(k) => Some(config.indexes[*k].def_key()),
+            _ => None,
+        })
+        .collect();
+    Ok(WhatIfEntry {
+        cost: plan.est_cost,
+        rows: plan.result_rows,
+        used_hypos,
+    })
+}
+
+/// The process-global cache every advisor path shares by default. Epoch +
+/// instance-id keying makes sharing safe; [`WhatIfCache::set_enabled`] and
+/// [`WhatIfCache::clear`] give benchmarks a controlled baseline.
+pub fn global() -> &'static WhatIfCache {
+    static GLOBAL: OnceLock<WhatIfCache> = OnceLock::new();
+    GLOBAL.get_or_init(WhatIfCache::new)
+}
+
+/// Memoized estimated cost of a SELECT under a what-if configuration,
+/// through the [`global`] cache.
+pub fn whatif_cost(
+    db: &Database,
+    select: &Select,
+    config: &HypoConfig,
+    cm: &CostModel,
+) -> Result<f64, ExecError> {
+    Ok(global().eval_select(db, select, config, cm)?.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypothetical::HypotheticalIndex;
+    use aim_sql::parse_statement;
+    use aim_storage::{ColumnDef, ColumnType, Database, IndexDef, IoStats, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("a", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..3000i64 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 60)], &mut io)
+                .unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    fn select(sql: &str) -> Select {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_and_matches() {
+        let db = db();
+        let cache = WhatIfCache::new();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let cfg = HypoConfig::only(Vec::new());
+        let first = cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        let second = cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_literals_do_not_share_entries() {
+        let db = db();
+        let cache = WhatIfCache::new();
+        let cm = CostModel::default();
+        let cfg = HypoConfig::only(Vec::new());
+        cache
+            .eval_select(&db, &select("SELECT id FROM t WHERE a = 7"), &cfg, &cm)
+            .unwrap();
+        cache
+            .eval_select(&db, &select("SELECT id FROM t WHERE a = 8"), &cfg, &cm)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn config_key_is_order_insensitive() {
+        let db = db();
+        let ha = HypotheticalIndex::build(&db, IndexDef::new("ha", "t", vec!["a".into()]))
+            .unwrap();
+        let hid = HypotheticalIndex::build(&db, IndexDef::new("hid", "t", vec!["id".into()]))
+            .unwrap();
+        let fwd = HypoConfig::only(vec![ha.clone(), hid.clone()]);
+        let rev = HypoConfig::only(vec![hid, ha]);
+        assert_eq!(fwd.canonical_key(), rev.canonical_key());
+
+        let cache = WhatIfCache::new();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let a = cache.eval_select(&db, &s, &fwd, &cm).unwrap();
+        let b = cache.eval_select(&db, &s, &rev, &cm).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(cache.stats().hits, 1, "reordered config must hit");
+    }
+
+    #[test]
+    fn cached_entry_reports_used_hypotheticals() {
+        let db = db();
+        let h = HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()]))
+            .unwrap();
+        let def_key = h.def_key();
+        let cfg = HypoConfig::only(vec![h]);
+        let cache = WhatIfCache::new();
+        let entry = cache
+            .eval_select(
+                &db,
+                &select("SELECT id FROM t WHERE a = 7"),
+                &cfg,
+                &CostModel::default(),
+            )
+            .unwrap();
+        assert_eq!(entry.used_hypos, vec![def_key]);
+    }
+
+    #[test]
+    fn stats_epoch_bump_invalidates_entries() {
+        let mut db = db();
+        let cache = WhatIfCache::new();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let cfg = HypoConfig::only(Vec::new());
+        let before = cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+
+        // DML growth + re-ANALYZE: the epoch moves, the cached cost must
+        // not be reused, and the fresh cost reflects the bigger table.
+        let mut io = IoStats::new();
+        let e0 = db.stats_epoch();
+        for i in 3000..9000i64 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 60)], &mut io)
+                .unwrap();
+        }
+        db.analyze_all();
+        assert!(db.stats_epoch() > e0);
+
+        let hits_before = cache.stats().hits;
+        let after = cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        assert_eq!(cache.stats().hits, hits_before, "stale entry must miss");
+        assert!(
+            after.cost > before.cost,
+            "tripled table must cost more: {} vs {}",
+            after.cost,
+            before.cost
+        );
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let db = db();
+        let cache = WhatIfCache::new();
+        cache.set_enabled(false);
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let cfg = HypoConfig::only(Vec::new());
+        cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

@@ -6,17 +6,55 @@ use crate::schema::{IndexDef, TableSchema};
 use crate::stats::{analyze, TableStats, DEFAULT_BUCKETS};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of process-unique database instance identifiers (cache keying).
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_db_id() -> u64 {
+    NEXT_DB_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An in-memory database instance.
 ///
 /// `Database` is `Clone`: cloning produces the logical copy that the paper's
 /// MyShadow framework provides (§VII-B) — a test instance on which candidate
 /// indexes are materialized and traffic replayed without touching
-/// "production".
-#[derive(Debug, Clone, Default)]
+/// "production". A clone receives a fresh [`Database::instance_id`], so
+/// what-if cost caches keyed by `(instance_id, stats_epoch)` never confuse
+/// the clone with its source.
+#[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     stats: BTreeMap<String, TableStats>,
+    /// Process-unique identity of this instance (fresh on clone).
+    id: u64,
+    /// Version of (data, schema, index set, statistics): bumped by any
+    /// mutable access and by re-analysis that changed statistics. What-if
+    /// cost caches key on this to invalidate on data or stats drift.
+    epoch: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            id: next_db_id(),
+            epoch: 0,
+        }
+    }
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Self {
+            tables: self.tables.clone(),
+            stats: self.stats.clone(),
+            id: next_db_id(),
+            epoch: self.epoch,
+        }
+    }
 }
 
 impl Database {
@@ -25,11 +63,24 @@ impl Database {
         Self::default()
     }
 
+    /// Process-unique identity of this instance. Clones get a fresh id.
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current stats epoch: changes whenever data, schema, the index set or
+    /// the statistics may have changed. Cached what-if costs computed under
+    /// an older epoch are stale.
+    pub fn stats_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Creates a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StorageError> {
         if self.tables.contains_key(&schema.name) {
             return Err(StorageError::DuplicateTable(schema.name));
         }
+        self.epoch += 1;
         self.tables.insert(schema.name.clone(), Table::new(schema));
         Ok(())
     }
@@ -43,10 +94,17 @@ impl Database {
 
     /// Mutable table lookup. Invalidate statistics after bulk changes via
     /// [`Database::analyze_table`].
+    ///
+    /// Handing out `&mut Table` conservatively bumps the stats epoch: every
+    /// data mutation flows through here, and a spurious bump only costs a
+    /// cache miss, never a stale cost.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
-        self.tables
+        let table = self
+            .tables
             .get_mut(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.epoch += 1;
+        Ok(table)
     }
 
     /// Names of all tables.
@@ -84,19 +142,28 @@ impl Database {
         self.tables.values().map(Table::secondary_index_bytes).sum()
     }
 
-    /// Recomputes statistics for one table.
+    /// Recomputes statistics for one table. Bumps the stats epoch only when
+    /// the recomputed statistics actually differ, so re-analysis of
+    /// unchanged data keeps what-if cost caches warm.
     pub fn analyze_table(&mut self, name: &str) -> Result<(), StorageError> {
         let stats = analyze(self.table(name)?, DEFAULT_BUCKETS);
-        self.stats.insert(name.to_string(), stats);
+        if self.stats.get(name) != Some(&stats) {
+            self.epoch += 1;
+            self.stats.insert(name.to_string(), stats);
+        }
         Ok(())
     }
 
-    /// Recomputes statistics for every table.
+    /// Recomputes statistics for every table (same epoch discipline as
+    /// [`Database::analyze_table`]).
     pub fn analyze_all(&mut self) {
         let names: Vec<String> = self.tables.keys().cloned().collect();
         for name in names {
             let stats = analyze(&self.tables[&name], DEFAULT_BUCKETS);
-            self.stats.insert(name, stats);
+            if self.stats.get(&name) != Some(&stats) {
+                self.epoch += 1;
+                self.stats.insert(name, stats);
+            }
         }
     }
 
@@ -286,6 +353,73 @@ mod tests {
         }
         assert_eq!(db.sample(0.0, 1).table("t").unwrap().row_count(), 0);
         assert_eq!(db.sample(1.0, 1).table("t").unwrap().row_count(), 100);
+    }
+
+    /// Compile-time guard: the advisor fans what-if evaluation out over
+    /// `std::thread::scope` workers sharing `&Database`; losing `Send +
+    /// Sync` (e.g. by introducing `Rc`/`RefCell` into a table) must fail
+    /// this test at compile time, not at the first parallel tuning pass.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Table>();
+        assert_send_sync::<TableStats>();
+    }
+
+    #[test]
+    fn clone_gets_fresh_instance_id() {
+        let db = db();
+        let clone = db.clone();
+        assert_ne!(db.instance_id(), clone.instance_id());
+        assert_eq!(db.stats_epoch(), clone.stats_epoch());
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutation_and_index_changes() {
+        let mut db = db();
+        let e0 = db.stats_epoch();
+        let mut io = IoStats::new();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Int(10)], &mut io)
+            .unwrap();
+        let e1 = db.stats_epoch();
+        assert!(e1 > e0, "data mutation must bump the epoch");
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        let e2 = db.stats_epoch();
+        assert!(e2 > e1, "index creation must bump the epoch");
+        db.drop_index("t", "ix_a").unwrap();
+        assert!(db.stats_epoch() > e2, "index drop must bump the epoch");
+    }
+
+    #[test]
+    fn reanalyzing_unchanged_data_keeps_epoch() {
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..50 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 5)], &mut io)
+                .unwrap();
+        }
+        db.analyze_all();
+        let e = db.stats_epoch();
+        db.analyze_all();
+        assert_eq!(
+            db.stats_epoch(),
+            e,
+            "ANALYZE over unchanged data must not invalidate caches"
+        );
+        // A data change followed by re-analysis bumps twice (mutation +
+        // changed stats).
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1000), Value::Int(3)], &mut io)
+            .unwrap();
+        db.analyze_all();
+        assert!(db.stats_epoch() >= e + 2);
     }
 
     #[test]

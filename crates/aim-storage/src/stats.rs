@@ -203,7 +203,7 @@ impl ColumnStats {
 }
 
 /// Statistics for a whole table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableStats {
     pub row_count: u64,
     pub columns: BTreeMap<String, ColumnStats>,

@@ -58,6 +58,10 @@ impl Counter {
 
 /// Optimizer what-if invocations (advisory plans + DML maintenance costing).
 pub static WHATIF_CALLS: Counter = Counter::new("exec.whatif_calls");
+/// What-if evaluations answered from the memo cache (optimizer calls saved).
+pub static WHATIF_CACHE_HITS: Counter = Counter::new("exec.whatif_cache_hits");
+/// What-if evaluations that missed the memo cache and were planned.
+pub static WHATIF_CACHE_MISSES: Counter = Counter::new("exec.whatif_cache_misses");
 /// All planner invocations, advisory and execution-bound.
 pub static PLANS_EVALUATED: Counter = Counter::new("exec.plans_evaluated");
 /// Statements run by the executor.
@@ -85,6 +89,8 @@ pub static REGRESSIONS_DETECTED: Counter = Counter::new("aim.regressions_detecte
 
 static BUILTIN: &[&Counter] = &[
     &WHATIF_CALLS,
+    &WHATIF_CACHE_HITS,
+    &WHATIF_CACHE_MISSES,
     &PLANS_EVALUATED,
     &STATEMENTS_EXECUTED,
     &ROWS_READ,

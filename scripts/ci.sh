@@ -12,4 +12,9 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== bench_whatif smoke (what-if cache regression gate)"
+# Exits non-zero if a repeated tuning pass over an unchanged database shows a
+# 0% cache hit rate — i.e. epoch keying or statement fingerprinting broke.
+./target/release/bench_whatif smoke
+
 echo "== ci: all checks passed"
