@@ -19,7 +19,7 @@
 //! cargo run -p aim-bench --bin aim_cli --release -- --profile tpch
 //! ```
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::{AimConfig, TuningSession};
 use aim_exec::{Engine, HypoConfig, Planner};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -36,14 +36,13 @@ fn main() {
     let mut db = Database::new();
     let engine = Engine::new();
     let mut monitor = WorkloadMonitor::new();
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 1,
             min_benefit: 0.5,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .session();
 
     println!("AIM shell — type SQL, or \\help for commands.");
     let stdin = std::io::stdin();
@@ -65,7 +64,7 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !run_command(cmd, &mut db, &engine, &mut monitor, &aim) {
+            if !run_command(cmd, &mut db, &engine, &mut monitor, &session) {
                 break;
             }
             continue;
@@ -80,7 +79,7 @@ fn run_command(
     db: &mut Database,
     engine: &Engine,
     monitor: &mut WorkloadMonitor,
-    aim: &Aim,
+    session: &TuningSession,
 ) -> bool {
     let (name, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
     match name {
@@ -109,7 +108,7 @@ fn run_command(
             Ok(_) => println!("\\explain supports SELECT statements"),
             Err(e) => println!("parse error: {e}"),
         },
-        "tune" => match aim.tune(db, monitor) {
+        "tune" => match session.run(db, monitor) {
             Ok(outcome) => {
                 println!(
                     "examined {} queries, {} candidates, {:?} elapsed",
@@ -239,15 +238,14 @@ fn run_profile(workload: &str) {
             monitor.record(&wq.statement, &outcome);
         }
     }
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 1,
             min_benefit: 0.5,
             ..Default::default()
-        },
-        ..Default::default()
-    });
-    let result = aim.tune(&mut db, &monitor);
+        })
+        .session();
+    let result = session.run(&mut db, &monitor);
     let wall = wall.elapsed();
 
     let profile = aim_telemetry::take_profile();

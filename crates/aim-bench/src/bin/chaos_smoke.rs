@@ -1,0 +1,159 @@
+//! CI chaos smoke: a seeded fault schedule pushed through the continuous
+//! tuning loop, exiting non-zero on any resilience-contract violation.
+//!
+//! The checks mirror the chaos test suite, compressed into one fast run:
+//! the database must pass `check_consistency` after every window whether
+//! the pass retried, degraded, or aborted; an aborted pass must leave no
+//! indexes behind; and with the plan disarmed the same workload must tune
+//! to the same configuration as a never-armed run.
+//!
+//! Usage: `cargo run -p aim-bench --bin chaos_smoke --release [-- seed]`
+
+use aim_core::continuous::ContinuousTuner;
+use aim_core::{AimConfig, RetryPolicy};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::fault::{self, FaultPlan};
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+use std::time::Duration;
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .expect("valid schema"),
+    )
+    .expect("fresh table");
+    let mut io = IoStats::new();
+    for i in 0..8000i64 {
+        db.table_mut("orders")
+            .expect("exists")
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 400), Value::Int(i % 16)],
+                &mut io,
+            )
+            .expect("unique");
+    }
+    db.analyze_all();
+    db
+}
+
+fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).expect("valid SQL");
+    for _ in 0..n {
+        if let Ok(out) = engine.execute(db, &stmt) {
+            monitor.record(&stmt, &out);
+        }
+    }
+}
+
+fn created_names(db: &Database) -> Vec<String> {
+    let mut names: Vec<String> = db.all_indexes().into_iter().map(|d| d.name).collect();
+    names.sort();
+    names
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0xC1A05);
+    let windows = ["customer = 42", "region = 3", "customer = 7 AND region = 1"];
+    let session_for = || {
+        AimConfig::builder()
+            .selection(SelectionConfig {
+                min_executions: 1,
+                min_benefit: 0.0,
+                max_queries: 50,
+                include_dml: true,
+            })
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_micros(100),
+            })
+            .session()
+    };
+
+    // Armed run: faults at every layer of the pipeline.
+    let mut db = build_db();
+    let mut tuner = ContinuousTuner::with_session(session_for(), 0.5);
+    fault::arm(
+        FaultPlan::new(seed)
+            .fail_with_probability("exec.whatif", 0.1, 20)
+            .fail("storage.clone", 1, 2)
+            .fail("storage.create_index", 0, 1)
+            .delay_ms("exec.whatif", 1, 10, 5),
+    );
+    let mut aborted = 0usize;
+    let mut retries = 0u64;
+    for (i, predicate) in windows.iter().enumerate() {
+        let mut monitor = WorkloadMonitor::new();
+        observe(
+            &mut db,
+            &mut monitor,
+            &format!("SELECT id FROM orders WHERE {predicate}"),
+            12,
+        );
+        match tuner.step(&mut db, &monitor) {
+            Ok(out) => retries += out.tuning.retries,
+            Err(e) => {
+                aborted += 1;
+                eprintln!("# window {i}: pass aborted: {e}");
+            }
+        }
+        if let Err(violations) = db.check_consistency() {
+            fail(&format!("window {i}: consistency violated: {violations:?}"));
+        }
+    }
+    let injection_log = fault::disarm();
+    if injection_log.is_empty() {
+        fail("fault schedule never fired — smoke exercised nothing");
+    }
+    eprintln!(
+        "# armed: {} injections, {retries} retries, {aborted} aborted windows, {} indexes",
+        injection_log.len(),
+        db.all_indexes().len()
+    );
+
+    // Disarmed equivalence: a fresh database tuned with the plan disarmed
+    // must match a never-armed baseline exactly.
+    let run_clean = || {
+        let mut db = build_db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 12);
+        session_for()
+            .run(&mut db, &monitor)
+            .unwrap_or_else(|e| fail(&format!("fault-free pass failed: {e}")));
+        created_names(&db)
+    };
+    let baseline = run_clean();
+    let after_disarm = run_clean();
+    if baseline != after_disarm {
+        fail(&format!(
+            "disarmed run diverged from baseline: {baseline:?} vs {after_disarm:?}"
+        ));
+    }
+    if baseline.is_empty() {
+        fail("baseline run created no indexes — smoke fixture lost its signal");
+    }
+    println!(
+        "chaos_smoke: OK ({} injections absorbed, {} baseline indexes stable)",
+        injection_log.len(),
+        baseline.len()
+    );
+}

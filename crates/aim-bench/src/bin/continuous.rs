@@ -13,7 +13,7 @@
 //! Usage: `cargo run -p aim-bench --bin continuous --release [-- quick]`
 
 use aim_core::continuous::ContinuousTuner;
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::normalize::{normalize_statement, QueryFingerprint};
@@ -42,16 +42,15 @@ fn main() {
     let mut phase2: Vec<QuerySpec> = reads.to_vec();
     phase2.extend(dml);
 
-    let mut tuner = ContinuousTuner::new(
-        Aim::new(AimConfig {
-            selection: SelectionConfig {
+    let mut tuner = ContinuousTuner::with_session(
+        AimConfig::builder()
+            .selection(SelectionConfig {
                 min_executions: 2,
                 min_benefit: 0.5,
                 max_queries: usize::MAX,
                 include_dml: true,
-            },
-            ..Default::default()
-        }),
+            })
+            .session(),
         0.5,
     );
 

@@ -14,7 +14,7 @@
 //!
 //! Usage: `cargo run -p aim-bench --bin fig3 --release [-- quick]`
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_storage::IoStats;
 use aim_workloads::production::{apply_indexes, build, profiles};
@@ -58,15 +58,14 @@ fn main() {
 
         let mut pending: Vec<aim_storage::IndexDef> = Vec::new();
         let mut monitor = WorkloadMonitor::new();
-        let aim = Aim::new(AimConfig {
-            selection: SelectionConfig {
+        let session = AimConfig::builder()
+            .selection(SelectionConfig {
                 min_executions: 2,
                 min_benefit: 0.5,
                 max_queries: usize::MAX,
                 include_dml: true,
-            },
-            ..Default::default()
-        });
+            })
+            .session();
 
         for tick in 0..total_ticks {
             if tick == drop_tick {
@@ -80,7 +79,7 @@ fn main() {
                 // AIM analyses the observed (post-drop) workload on a
                 // clone, then its indexes are created one per tick.
                 let mut clone = test_db.clone();
-                let outcome = aim.tune(&mut clone, &monitor).expect("tuning pass");
+                let outcome = session.run(&mut clone, &monitor).expect("tuning pass");
                 pending = outcome.created.into_iter().map(|c| c.def).collect();
                 // `created` is in descending utility order and `pop` takes
                 // from the back: reverse so the most beneficial indexes

@@ -14,7 +14,7 @@
 //! Usage: `cargo run -p aim-bench --bin fig6 --release [-- quick]`
 
 use aim_baselines::Extend;
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_core::{CandidateGenConfig, IndexAdvisor};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_storage::IoStats;
@@ -48,19 +48,18 @@ fn main() {
     let capacity = sample.total_cost * 0.2;
 
     let aim_for = |j: usize| {
-        Aim::new(AimConfig {
-            selection: SelectionConfig {
+        AimConfig::builder()
+            .selection(SelectionConfig {
                 min_executions: 1,
                 min_benefit: 0.5,
                 max_queries: usize::MAX,
                 include_dml: true,
-            },
-            candidate_gen: CandidateGenConfig {
+            })
+            .candidate_gen(CandidateGenConfig {
                 join_parameter: j,
                 ..Default::default()
-            },
-            ..Default::default()
-        })
+            })
+            .session()
     };
 
     let phase_len = if quick { 5 } else { 8 };
@@ -78,7 +77,7 @@ fn main() {
             for _ in 0..2 {
                 let mut monitor = WorkloadMonitor::new();
                 aim_replayer.run_tick(&mut aim_db, Some(&mut monitor), per_tick, capacity);
-                let outcome = aim_for(j).tune(&mut aim_db, &monitor).expect("tuning pass");
+                let outcome = aim_for(j).run(&mut aim_db, &monitor).expect("tuning pass");
                 if !outcome.created.is_empty() {
                     eprintln!(
                         "# AIM {label}: +{} indexes ({})",

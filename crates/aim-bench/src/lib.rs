@@ -3,7 +3,7 @@
 
 pub mod microbench;
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_storage::{Database, IndexDef};
 use aim_workloads::replay::{QuerySpec, Replayer, TickSample};
@@ -57,16 +57,15 @@ pub fn bootstrap_aim(
     executions_per_round: usize,
     seed: u64,
 ) -> BootstrapResult {
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 2,
             min_benefit: 0.5,
             max_queries: usize::MAX,
             include_dml: true,
-        },
-        storage_budget: budget_bytes,
-        ..Default::default()
-    });
+        })
+        .storage_budget(budget_bytes)
+        .session();
     let mut replayer = Replayer::new(specs.to_vec(), seed);
     let mut created = Vec::new();
     let mut total_tuning_seconds = 0.0;
@@ -75,7 +74,7 @@ pub fn bootstrap_aim(
         rounds = round + 1;
         let mut monitor = WorkloadMonitor::new();
         replayer.run_tick(db, Some(&mut monitor), executions_per_round, f64::INFINITY);
-        let outcome = aim.tune(db, &monitor).expect("tuning pass");
+        let outcome = session.run(db, &monitor).expect("tuning pass");
         total_tuning_seconds += outcome.elapsed.as_secs_f64();
         let n_new = outcome.created.len();
         created.extend(outcome.created.into_iter().map(|c| c.def));

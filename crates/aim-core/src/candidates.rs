@@ -469,10 +469,25 @@ pub fn generate_candidates(
     workload: &[WorkloadQuery],
     cfg: &CandidateGenConfig,
 ) -> Vec<CandidateIndex> {
+    try_generate_candidates(db, workload, cfg, &crate::session::RunCtl::none())
+        .expect("candidate generation without deadline or cancel cannot fail")
+}
+
+/// [`generate_candidates`] under a [`RunCtl`](crate::session::RunCtl):
+/// the deadline / cancel token is checked between workload queries and
+/// before the merge phase, so a session abort lands within one query's
+/// worth of work.
+pub fn try_generate_candidates(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    cfg: &CandidateGenConfig,
+    ctl: &crate::session::RunCtl,
+) -> Result<Vec<CandidateIndex>, crate::error::AimError> {
     // 1. Per-query partial orders with provenance.
     let derive_span = aim_telemetry::span("derive_partial_orders");
     let mut pos: Vec<CandidatePO> = Vec::new();
     for wq in workload {
+        ctl.check("candidate_generation")?;
         let Ok(structure) = analyze_structure(db, &wq.stats.normalized) else {
             continue;
         };
@@ -552,6 +567,7 @@ pub fn generate_candidates(
     drop(derive_span);
 
     // 2. Merge partial orders per table (§III-E).
+    ctl.check("candidate_generation")?;
     let _merge_span = aim_telemetry::span("partial_order_merge");
     let mut by_table: BTreeMap<String, Vec<CandidatePO>> = BTreeMap::new();
     for c in pos {
@@ -654,7 +670,7 @@ pub fn generate_candidates(
     for c in &candidates {
         aim_telemetry::metrics::histogram_record("aim.candidate_width", c.width() as f64);
     }
-    candidates
+    Ok(candidates)
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! dropped.
 
 use crate::driver::{Aim, AimOutcome};
-use aim_exec::ExecError;
+use crate::error::AimError;
+use crate::session::TuningSession;
 use aim_monitor::WorkloadMonitor;
 use aim_sql::normalize::QueryFingerprint;
 use aim_storage::{Database, IndexDef};
@@ -146,7 +147,9 @@ pub struct ContinuousOutcome {
 /// unused automation indexes, then refresh regression baselines.
 #[derive(Debug, Clone)]
 pub struct ContinuousTuner {
-    pub aim: Aim,
+    /// The resilient session driving each pass; its deadline, retry policy
+    /// and cancel token apply to every [`ContinuousTuner::step`].
+    pub session: TuningSession,
     pub detector: RegressionDetector,
     /// Drop AIM indexes unused for `unused_grace_windows` consecutive
     /// windows. `0` disables the GC.
@@ -159,10 +162,17 @@ pub struct ContinuousTuner {
 }
 
 impl ContinuousTuner {
-    /// Creates a continuous tuner around an [`Aim`] instance.
+    /// Creates a continuous tuner around an [`Aim`] instance (no deadline,
+    /// default retries).
     pub fn new(aim: Aim, regression_tolerance: f64) -> Self {
+        Self::with_session(TuningSession::from_aim(aim), regression_tolerance)
+    }
+
+    /// Creates a continuous tuner around a configured [`TuningSession`],
+    /// inheriting its deadline, retry policy and cancel token per step.
+    pub fn with_session(session: TuningSession, regression_tolerance: f64) -> Self {
         Self {
-            aim,
+            session,
             detector: RegressionDetector::new(regression_tolerance),
             unused_grace_windows: 2,
             unused_streak: BTreeMap::new(),
@@ -171,11 +181,16 @@ impl ContinuousTuner {
     }
 
     /// Runs one step at the end of an observation window.
+    ///
+    /// On error the step's tuning pass has already rolled back any indexes
+    /// it materialized (see [`TuningSession::run`]); reverts and GC from
+    /// earlier in the step stand — they were driven by the *previous*
+    /// window's evidence, not the failed pass.
     pub fn step(
         &mut self,
         db: &mut Database,
         monitor: &WorkloadMonitor,
-    ) -> Result<ContinuousOutcome, ExecError> {
+    ) -> Result<ContinuousOutcome, AimError> {
         let _step_span = aim_telemetry::span("aim.continuous_step");
         let mut outcome = ContinuousOutcome::default();
 
@@ -219,7 +234,7 @@ impl ContinuousTuner {
         drop(scan_span);
 
         // 2. Tune.
-        outcome.tuning = self.aim.tune(db, monitor)?;
+        outcome.tuning = self.session.run(db, monitor)?;
         self.recently_created = outcome
             .tuning
             .created
@@ -316,15 +331,16 @@ mod tests {
 
     fn tuner() -> ContinuousTuner {
         ContinuousTuner::new(
-            Aim::new(AimConfig {
-                selection: SelectionConfig {
-                    min_executions: 1,
-                    min_benefit: 0.0,
-                    max_queries: 50,
-                    include_dml: true,
-                },
-                ..Default::default()
-            }),
+            Aim::new(
+                AimConfig::builder()
+                    .selection(SelectionConfig {
+                        min_executions: 1,
+                        min_benefit: 0.0,
+                        max_queries: 50,
+                        include_dml: true,
+                    })
+                    .build(),
+            ),
             0.5,
         )
     }

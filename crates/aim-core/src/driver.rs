@@ -8,25 +8,34 @@
 //! production ← RankSelectedIndexes(candidates)
 //! ```
 //!
-//! [`Aim::tune`] runs one full tuning pass: representative workload
-//! selection → structural candidate generation → ranking → knapsack
-//! selection under the storage budget → clone validation → materialization
-//! on the production database. Running it periodically yields the paper's
+//! One full tuning pass — representative workload selection → structural
+//! candidate generation → ranking → knapsack selection under the storage
+//! budget → clone validation → materialization — is run by
+//! [`TuningSession::run`](crate::session::TuningSession::run), built via
+//! [`AimConfig::builder`]. Running it periodically yields the paper's
 //! continuous tuning (§VI-D) and its two-phase behaviour: the first pass
 //! creates narrow indexes; once those are observed in use with high seek
 //! counts, `TryCoveringIndex` flips qualifying queries to covering mode.
+//!
+//! This module keeps the pass's configuration ([`AimConfig`]), result
+//! ([`AimOutcome`]) and the legacy [`Aim`] handle whose deprecated
+//! [`Aim::tune`] forwards to a default session.
 
-use crate::candidates::{generate_candidates, CandidateGenConfig};
-use crate::ranking::{knapsack_select, rank_candidates_with, RankedCandidate};
+use crate::candidates::CandidateGenConfig;
+use crate::session::{AimConfigBuilder, TuningSession};
 use crate::sharding::ShardingProfile;
-use crate::validate::{validate_on_clone, RejectReason, ValidationConfig};
+use crate::validate::ValidationConfig;
 use aim_exec::{Engine, ExecError};
-use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor};
-use aim_storage::{Database, IndexDef, IoStats};
-use aim_telemetry as tel;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_storage::{Database, IndexDef};
 use std::time::Duration;
 
 /// Full configuration of a tuning pass.
+///
+/// `#[non_exhaustive]`: construct via [`AimConfig::builder`] (or start
+/// from [`AimConfig::default`]) — new tuning knobs may appear in any
+/// release without breaking callers.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct AimConfig {
     /// Representative workload selection thresholds (§III-C).
@@ -68,6 +77,14 @@ impl Default for AimConfig {
     }
 }
 
+impl AimConfig {
+    /// Starts a builder — the construction path for configs and
+    /// [`TuningSession`]s.
+    pub fn builder() -> AimConfigBuilder {
+        AimConfigBuilder::default()
+    }
+}
+
 /// One index created by a tuning pass, with its explanation.
 #[derive(Debug, Clone)]
 pub struct CreatedIndex {
@@ -81,6 +98,10 @@ pub struct CreatedIndex {
 }
 
 /// Outcome of one tuning pass.
+///
+/// `#[non_exhaustive]`: read-only for callers; new observability fields
+/// may appear in any release.
+#[non_exhaustive]
 #[derive(Debug, Clone, Default)]
 pub struct AimOutcome {
     pub created: Vec<CreatedIndex>,
@@ -92,9 +113,17 @@ pub struct AimOutcome {
     pub candidates_generated: usize,
     /// Wall-clock time of the pass (the paper's "algorithm runtime").
     pub elapsed: Duration,
+    /// Phase retries performed after transient failures.
+    pub retries: u64,
+    /// True when the pass only succeeded in a degraded mode (sequential
+    /// fallback and/or a shrunken validation sample).
+    pub degraded: bool,
 }
 
-/// The Automatic Index Manager.
+/// The Automatic Index Manager (legacy handle).
+///
+/// New code should build a [`TuningSession`] via [`AimConfig::builder`];
+/// `Aim` remains as the configuration+engine pair the session wraps.
 #[derive(Debug, Clone, Default)]
 pub struct Aim {
     pub config: AimConfig,
@@ -112,179 +141,19 @@ impl Aim {
 
     /// Runs one tuning pass against `db`, consuming the monitor's current
     /// observation window. Created indexes are materialized on `db`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a TuningSession via AimConfig::builder() (deadline, \
+                cancellation, retry and rollback semantics) and call its run()"
+    )]
     pub fn tune(
         &self,
         db: &mut Database,
         monitor: &WorkloadMonitor,
     ) -> Result<AimOutcome, ExecError> {
-        // The root span is the pass's single timing source: `elapsed()`
-        // works whether or not telemetry is collecting.
-        let root = tel::span("aim.tune");
-        let mut outcome = AimOutcome::default();
-
-        // 1. Representative workload selection.
-        let workload = {
-            let _s = tel::span("select_workload");
-            select_workload(monitor, &self.config.selection)
-        };
-        outcome.workload_size = workload.len();
-        if workload.is_empty() {
-            outcome.elapsed = root.elapsed();
-            return Ok(outcome);
-        }
-
-        // 2. Structural candidate generation.
-        let mut candidates = {
-            let _s = tel::span("candidate_generation");
-            db.analyze_all();
-            generate_candidates(db, &workload, &self.config.candidate_gen)
-        };
-        // Drop candidates that an existing index already serves: identical
-        // column lists, and any candidate that is a key-prefix of an
-        // existing index on the same table.
-        candidates.retain(|c| {
-            let Ok(table) = db.table(&c.table) else {
-                return false;
-            };
-            !table.indexes().any(|ix| {
-                ix.def().columns.len() >= c.columns.len()
-                    && ix.def().columns[..c.columns.len()] == c.columns[..]
-            })
-        });
-        outcome.candidates_generated = candidates.len();
-
-        // 3. Ranking + knapsack under the remaining budget.
-        let mut ranked = {
-            let _s = tel::span("ranking");
-            rank_candidates_with(
-                db,
-                &workload,
-                &candidates,
-                &self.engine.cost_model,
-                self.config.workers,
-            )
-        };
-        if let Some(profile) = &self.config.sharding {
-            profile.apply(&mut ranked);
-        }
-        let shard_mult = self
-            .config
-            .sharding
-            .as_ref()
-            .map_or(1, |p| p.shard_count);
-        let used = db.total_secondary_index_bytes().saturating_mul(shard_mult);
-        let chosen = {
-            let _s = tel::span("knapsack");
-            knapsack_select(&ranked, self.config.storage_budget, used)
-        };
-        if chosen.is_empty() {
-            self.finish_pass(db, &mut outcome, &root);
-            return Ok(outcome);
-        }
-
-        // 4. Clone validation ("no regression" guarantee).
-        let accepted: Vec<RankedCandidate> = if self.config.skip_validation {
-            chosen
-        } else {
-            let _s = tel::span("validation");
-            let mut vcfg = self.config.validation.clone();
-            if vcfg.workers == 0 {
-                vcfg.workers = self.config.workers;
-            }
-            let result = validate_on_clone(db, &workload, &chosen, &self.engine, &vcfg)?;
-            for (r, reason) in result.rejected {
-                let reason = reject_text(&reason);
-                tel::metrics::INDEXES_REJECTED.incr();
-                tel::event(tel::EventKind::IndexRejected, r.candidate.name(), reason.clone());
-                outcome.rejected.push((r.candidate.name(), reason));
-            }
-            result.accepted
-        };
-
-        // 5. Materialize on production.
-        let _s = tel::span("materialize");
-        let mut io = IoStats::new();
-        for r in accepted {
-            let def = IndexDef::new(
-                r.candidate.name(),
-                r.candidate.table.clone(),
-                r.candidate.columns.clone(),
-            );
-            match db.create_index(def.clone(), &mut io) {
-                Ok(()) => {
-                    tel::metrics::INDEXES_CREATED.incr();
-                    tel::event(
-                        tel::EventKind::IndexAccepted,
-                        &def.name,
-                        format!(
-                            "benefit {:.1}, maintenance {:.1}, {} bytes",
-                            r.benefit, r.maintenance, r.size_bytes
-                        ),
-                    );
-                    outcome.created.push(CreatedIndex {
-                        explanation: r.explanation(),
-                        benefit: r.benefit,
-                        maintenance: r.maintenance,
-                        size_bytes: r.size_bytes,
-                        def,
-                    });
-                }
-                Err(e) => {
-                    tel::metrics::INDEXES_REJECTED.incr();
-                    tel::event(tel::EventKind::IndexRejected, &def.name, e.to_string());
-                    outcome.rejected.push((def.name, e.to_string()));
-                }
-            }
-        }
-        db.analyze_all();
-        drop(_s);
-        self.finish_pass(db, &mut outcome, &root);
-        Ok(outcome)
-    }
-
-    /// Common pass epilogue: record wall time, the pass-summary event, and
-    /// the post-pass index footprint gauge.
-    fn finish_pass(&self, db: &Database, outcome: &mut AimOutcome, root: &tel::SpanGuard) {
-        outcome.elapsed = root.elapsed();
-        tel::metrics::gauge_set(
-            "db.secondary_index_bytes",
-            db.total_secondary_index_bytes() as i64,
-        );
-        if tel::is_enabled() {
-            tel::event(
-                tel::EventKind::TuningPass,
-                "aim.tune",
-                format!(
-                    "workload {}, candidates {}, created {}, rejected {}, {:.1} ms",
-                    outcome.workload_size,
-                    outcome.candidates_generated,
-                    outcome.created.len(),
-                    outcome.rejected.len(),
-                    outcome.elapsed.as_secs_f64() * 1e3
-                ),
-            );
-        }
-    }
-}
-
-fn reject_text(reason: &RejectReason) -> String {
-    match reason {
-        RejectReason::Unused => "optimizer never used the index during replay".to_string(),
-        RejectReason::Regression {
-            query,
-            before,
-            after,
-        } => format!("query {query} regressed: {before:.1} -> {after:.1} cost units"),
-        RejectReason::Unbuildable(msg) => format!("not materializable: {msg}"),
-        RejectReason::NoImprovement => {
-            "no query improved measurably during replay (Eq. 3)".to_string()
-        }
-        RejectReason::TotalCostRegression { before, after } => format!(
-            "total workload cost regressed: {before:.1} -> {after:.1} (Eq. 2)"
-        ),
-        RejectReason::RoundsExhausted => {
-            "validation rounds exhausted before a clean pass".to_string()
-        }
+        TuningSession::from_aim(self.clone())
+            .run(db, monitor)
+            .map_err(crate::error::AimError::into_exec)
     }
 }
 
@@ -292,7 +161,7 @@ fn reject_text(reason: &RejectReason) -> String {
 mod tests {
     use super::*;
     use aim_sql::parse_statement;
-    use aim_storage::{ColumnDef, ColumnType, TableSchema, Value};
+    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -338,20 +207,21 @@ mod tests {
         }
     }
 
-    fn quick_config() -> AimConfig {
-        AimConfig {
-            selection: SelectionConfig {
-                min_executions: 1,
-                min_benefit: 0.0,
-                max_queries: 50,
-                include_dml: true,
-            },
-            ..Default::default()
+    fn quick_selection() -> SelectionConfig {
+        SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            max_queries: 50,
+            include_dml: true,
         }
     }
 
+    fn quick_session() -> TuningSession {
+        AimConfig::builder().selection(quick_selection()).session()
+    }
+
     #[test]
-    fn tune_creates_useful_index_and_improves_query() {
+    fn session_creates_useful_index_and_improves_query() {
         let mut db = db();
         let mut monitor = WorkloadMonitor::new();
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
@@ -360,10 +230,11 @@ mod tests {
         let stmt = parse_statement("SELECT id FROM orders WHERE customer = 42").unwrap();
         let before = engine.execute(&mut db, &stmt).unwrap();
 
-        let aim = Aim::new(quick_config());
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        let outcome = quick_session().run(&mut db, &monitor).unwrap();
         assert!(!outcome.created.is_empty(), "rejected: {:?}", outcome.rejected);
         assert!(outcome.created[0].explanation.contains("orders"));
+        assert_eq!(outcome.retries, 0);
+        assert!(!outcome.degraded);
 
         let after = engine.execute(&mut db, &stmt).unwrap();
         assert!(
@@ -375,14 +246,24 @@ mod tests {
     }
 
     #[test]
-    fn tune_with_no_workload_is_a_noop() {
+    fn session_with_no_workload_is_a_noop() {
         let mut db = db();
         let monitor = WorkloadMonitor::new();
-        let aim = Aim::new(quick_config());
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        let outcome = quick_session().run(&mut db, &monitor).unwrap();
         assert!(outcome.created.is_empty());
         assert_eq!(outcome.workload_size, 0);
         assert!(db.all_indexes().is_empty());
+    }
+
+    #[test]
+    fn deprecated_tune_shim_still_works() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+        let aim = Aim::new(AimConfig::builder().selection(quick_selection()).build());
+        #[allow(deprecated)]
+        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        assert!(!outcome.created.is_empty());
     }
 
     #[test]
@@ -392,11 +273,11 @@ mod tests {
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE amount = 5", 10);
 
-        let aim = Aim::new(AimConfig {
-            storage_budget: 1, // effectively zero
-            ..quick_config()
-        });
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        let session = AimConfig::builder()
+            .selection(quick_selection())
+            .storage_budget(1) // effectively zero
+            .session();
+        let outcome = session.run(&mut db, &monitor).unwrap();
         assert!(outcome.created.is_empty());
     }
 
@@ -405,13 +286,13 @@ mod tests {
         let mut db = db();
         let mut monitor = WorkloadMonitor::new();
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
-        let aim = Aim::new(quick_config());
-        let first = aim.tune(&mut db, &monitor).unwrap();
+        let session = quick_session();
+        let first = session.run(&mut db, &monitor).unwrap();
         assert!(!first.created.is_empty());
         let count = db.all_indexes().len();
         // Same observations again: candidates now duplicate existing
         // indexes and are filtered out.
-        let second = aim.tune(&mut db, &monitor).unwrap();
+        let second = session.run(&mut db, &monitor).unwrap();
         assert!(second.created.is_empty(), "{:?}", second.created);
         assert_eq!(db.all_indexes().len(), count);
     }
@@ -421,8 +302,7 @@ mod tests {
         let mut db = db();
         let mut monitor = WorkloadMonitor::new();
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 1", 5);
-        let aim = Aim::new(quick_config());
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        let outcome = quick_session().run(&mut db, &monitor).unwrap();
         assert!(outcome.workload_size >= 1);
         assert!(outcome.candidates_generated >= 1);
         assert!(outcome.elapsed > Duration::ZERO);
@@ -438,8 +318,7 @@ mod tests {
 
         // Unsharded: the index is created (benefit outweighs maintenance).
         let mut unsharded_db = db.clone();
-        let aim = Aim::new(quick_config());
-        assert!(!aim.tune(&mut unsharded_db, &monitor).unwrap().created.is_empty());
+        assert!(!quick_session().run(&mut unsharded_db, &monitor).unwrap().created.is_empty());
 
         // 1000 shards, the read hits 0.1% of them while maintenance is paid
         // everywhere: fleet economics reject the index.
@@ -450,11 +329,11 @@ mod tests {
             .fingerprint;
         let mut profile = crate::sharding::ShardingProfile::new(1000);
         profile.set_hit_fraction(fp, 0.001);
-        let sharded_aim = Aim::new(AimConfig {
-            sharding: Some(profile),
-            ..quick_config()
-        });
-        let outcome = sharded_aim.tune(&mut db, &monitor).unwrap();
+        let sharded_session = AimConfig::builder()
+            .selection(quick_selection())
+            .sharding(Some(profile))
+            .session();
+        let outcome = sharded_session.run(&mut db, &monitor).unwrap();
         assert!(
             outcome.created.is_empty(),
             "fleet-wide maintenance should sink the index: {:?}",
@@ -467,11 +346,11 @@ mod tests {
         let mut db = db();
         let mut monitor = WorkloadMonitor::new();
         observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE region = 3", 20);
-        let aim = Aim::new(AimConfig {
-            skip_validation: true,
-            ..quick_config()
-        });
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
+        let session = AimConfig::builder()
+            .selection(quick_selection())
+            .skip_validation(true)
+            .session();
+        let outcome = session.run(&mut db, &monitor).unwrap();
         assert!(!outcome.created.is_empty());
     }
 }

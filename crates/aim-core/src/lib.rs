@@ -19,14 +19,18 @@
 //! 6. **Continuous tuning** ([`continuous`], §VI-D/VII-C): periodic passes,
 //!    regression-driven reverts, unused-index garbage collection.
 //!
-//! [`driver::Aim`] glues the production pipeline; [`advisor::AimAdvisor`]
-//! runs the same algorithm as a pure advisor over weighted analytical
-//! workloads for benchmark comparisons against baselines.
+//! [`session::TuningSession`] (built via [`driver::AimConfig::builder`]) is
+//! the production entry point: it runs the pipeline under an optional
+//! deadline and cancel token, retries transient faults with backoff, and
+//! rolls back anything an aborted pass materialized ([`error::AimError`]
+//! describes the failure). [`advisor::AimAdvisor`] runs the same algorithm
+//! as a pure advisor over weighted analytical workloads for benchmark
+//! comparisons against baselines.
 //!
 //! # Example
 //!
 //! ```
-//! use aim_core::driver::{Aim, AimConfig};
+//! use aim_core::AimConfig;
 //! use aim_exec::Engine;
 //! use aim_monitor::{SelectionConfig, WorkloadMonitor};
 //! use aim_sql::parse_statement;
@@ -54,11 +58,10 @@
 //!     monitor.record(&stmt, &out);
 //! }
 //!
-//! let aim = Aim::new(AimConfig {
-//!     selection: SelectionConfig { min_executions: 1, min_benefit: 0.0, ..Default::default() },
-//!     ..Default::default()
-//! });
-//! let outcome = aim.tune(&mut db, &monitor).unwrap();
+//! let session = AimConfig::builder()
+//!     .selection(SelectionConfig { min_executions: 1, min_benefit: 0.0, ..Default::default() })
+//!     .session();
+//! let outcome = session.run(&mut db, &monitor).unwrap();
 //! assert_eq!(outcome.created.len(), 1);
 //! assert_eq!(outcome.created[0].def.columns, vec!["a".to_string()]);
 //! ```
@@ -67,9 +70,11 @@ pub mod advisor;
 pub mod candidates;
 pub mod continuous;
 pub mod driver;
+pub mod error;
 pub mod metadata;
 pub mod partial_order;
 pub mod ranking;
+pub mod session;
 pub mod sharding;
 pub mod validate;
 
@@ -77,15 +82,23 @@ pub use advisor::{
     config_size, defs_to_config, workload_cost, AimAdvisor, IndexAdvisor, WeightedQuery,
 };
 pub use candidates::{
-    generate_candidates, CandidateGenConfig, CandidateIndex, CoveringMode, CoveringPolicy,
+    generate_candidates, try_generate_candidates, CandidateGenConfig, CandidateIndex,
+    CoveringMode, CoveringPolicy,
 };
 pub use continuous::{
     find_prefix_redundant_indexes, find_unused_indexes, ContinuousOutcome, ContinuousTuner,
     RegressionDetector, AIM_INDEX_PREFIX,
 };
 pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
+pub use error::AimError;
 pub use metadata::{analyze_structure, FactorGroup, OpClass, QueryStructure, TableInfo};
 pub use partial_order::{merge_partial_orders, PartialOrder};
-pub use ranking::{knapsack_select, rank_candidates, rank_candidates_with, RankedCandidate};
+pub use ranking::{
+    knapsack_select, rank_candidates, rank_candidates_with, try_rank_candidates_with,
+    RankedCandidate,
+};
+pub use session::{AimConfigBuilder, CancelToken, RetryPolicy, RunCtl, TuningSession};
 pub use sharding::ShardingProfile;
-pub use validate::{validate_on_clone, RejectReason, ValidationConfig, ValidationOutcome};
+pub use validate::{
+    try_validate_on_clone, validate_on_clone, RejectReason, ValidationConfig, ValidationOutcome,
+};

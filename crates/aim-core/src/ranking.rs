@@ -14,7 +14,9 @@
 //! per byte of storage until the budget is exhausted.
 
 use crate::candidates::CandidateIndex;
-use aim_exec::{estimate_statement_cost, CostModel, HypoConfig, HypotheticalIndex};
+use crate::error::AimError;
+use crate::session::RunCtl;
+use aim_exec::{estimate_statement_cost, CostModel, ExecError, HypoConfig, HypotheticalIndex};
 use aim_monitor::WorkloadQuery;
 use aim_sql::ast::{Select, SelectItem, Statement};
 use aim_sql::normalize::QueryFingerprint;
@@ -102,19 +104,40 @@ struct QueryContribution {
     maintenance: Vec<(usize, f64)>,
 }
 
+/// Classifies an error from a what-if / estimate call: in strict mode an
+/// *injected* (transient) failure aborts the evaluation so the session can
+/// retry it; deterministic errors always fall back to `fallback`, exactly
+/// as the original sequential pass did.
+fn cost_or(
+    res: Result<f64, ExecError>,
+    fallback: f64,
+    strict: bool,
+) -> Result<f64, AimError> {
+    match res {
+        Ok(c) => Ok(c),
+        Err(e) if strict && e.is_injected() => Err(AimError::from_exec("ranking", e)),
+        Err(_) => Ok(fallback),
+    }
+}
+
 /// Evaluates one workload query against all candidates (Eqs. 7–8). All
 /// what-if costing goes through the process-global [`aim_exec::whatif`]
 /// cache, so repeated subexpressions — the empty config, the
 /// "config minus one index" probes of the marginal loop, and the entire
 /// workload on a second tuning pass — are answered without replanning.
-fn eval_query(
+///
+/// With `strict` set, injected (transient) failures propagate instead of
+/// degrading to ∞/0 fallbacks — the resilient session retries them; the
+/// numeric behaviour on the success path is unchanged either way.
+fn try_eval_query(
     db: &Database,
     wq: &WorkloadQuery,
     candidates: &[CandidateIndex],
     hypos: &[(usize, Arc<HypotheticalIndex>)],
     empty_cfg: &HypoConfig,
     cm: &CostModel,
-) -> QueryContribution {
+    strict: bool,
+) -> Result<QueryContribution, AimError> {
     let cache = aim_exec::whatif::global();
     let mut out = QueryContribution {
         fingerprint: wq.stats.fingerprint,
@@ -131,13 +154,21 @@ fn eval_query(
             .map(|(i, h)| (*i, Arc::clone(h)))
             .collect();
         if !relevant.is_empty() {
-            let cost_empty = cache
-                .eval_select(db, &select, empty_cfg, cm)
-                .map(|e| e.cost)
-                .unwrap_or(f64::INFINITY);
+            let cost_empty = cost_or(
+                cache.eval_select(db, &select, empty_cfg, cm).map(|e| e.cost),
+                f64::INFINITY,
+                strict,
+            )?;
             let cfg =
                 HypoConfig::shared(relevant.iter().map(|(_, h)| Arc::clone(h)).collect());
-            if let Ok(entry) = cache.eval_select(db, &select, &cfg, cm) {
+            let entry = match cache.eval_select(db, &select, &cfg, cm) {
+                Ok(e) => Some(e),
+                Err(e) if strict && e.is_injected() => {
+                    return Err(AimError::from_exec("ranking", e));
+                }
+                Err(_) => None,
+            };
+            if let Some(entry) = entry {
                 let cost_with = entry.cost;
                 if cost_empty.is_finite() && cost_empty > 0.0 && cost_with < cost_empty {
                     let u_plus = (cost_empty - cost_with) / cost_empty * wq.stats.total_cpu;
@@ -170,10 +201,11 @@ fn eval_query(
                                     .map(|(_, h)| Arc::clone(h))
                                     .collect(),
                             );
-                            let c_without = cache
-                                .eval_select(db, &select, &without, cm)
-                                .map(|e| e.cost)
-                                .unwrap_or(cost_empty);
+                            let c_without = cost_or(
+                                cache.eval_select(db, &select, &without, cm).map(|e| e.cost),
+                                cost_empty,
+                                strict,
+                            )?;
                             marginals.push((c_without - cost_with).max(0.0));
                         }
                         let total: f64 = marginals.iter().sum();
@@ -194,7 +226,7 @@ fn eval_query(
     // ------------------------------------------------ maintenance (Eq. 8)
     if wq.stats.is_dml() {
         let stmt = &wq.stats.exemplar;
-        let base = estimate_statement_cost(db, stmt, empty_cfg, cm).unwrap_or(0.0);
+        let base = cost_or(estimate_statement_cost(db, stmt, empty_cfg, cm), 0.0, strict)?;
         if base > 0.0 {
             for (i, h) in hypos {
                 // Only indexes on the written table can be affected.
@@ -202,14 +234,15 @@ fn eval_query(
                     continue;
                 }
                 let one = HypoConfig::shared(vec![Arc::clone(h)]);
-                let with = estimate_statement_cost(db, stmt, &one, cm).unwrap_or(base);
+                let with =
+                    cost_or(estimate_statement_cost(db, stmt, &one, cm), base, strict)?;
                 let overhead = ((with - base) / base).max(0.0) * wq.stats.total_cpu;
                 out.maintenance.push((*i, overhead));
             }
         }
     }
 
-    out
+    Ok(out)
 }
 
 /// Resolves a worker-count knob: `0` means [`std::thread::available_parallelism`],
@@ -253,6 +286,35 @@ pub fn rank_candidates_with(
     cm: &CostModel,
     workers: usize,
 ) -> Vec<RankedCandidate> {
+    rank_core(db, workload, candidates, cm, workers, &RunCtl::none(), false)
+        .expect("lenient ranking without deadline or cancel cannot fail")
+}
+
+/// [`rank_candidates_with`] under a [`RunCtl`]: workers check the
+/// deadline/cancel token between queries, and injected (transient)
+/// what-if failures propagate as retryable [`AimError::Fault`]s instead of
+/// silently degrading a candidate's economics. On success the output is
+/// bit-identical to the lenient path for any worker count.
+pub fn try_rank_candidates_with(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    candidates: &[CandidateIndex],
+    cm: &CostModel,
+    workers: usize,
+    ctl: &RunCtl,
+) -> Result<Vec<RankedCandidate>, AimError> {
+    rank_core(db, workload, candidates, cm, workers, ctl, true)
+}
+
+fn rank_core(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    candidates: &[CandidateIndex],
+    cm: &CostModel,
+    workers: usize,
+    ctl: &RunCtl,
+    strict: bool,
+) -> Result<Vec<RankedCandidate>, AimError> {
     // Build hypothetical indexes once, shared; drop unbuildable candidates.
     let mut hypos: Vec<(usize, Arc<HypotheticalIndex>)> = Vec::new();
     for (i, c) in candidates.iter().enumerate() {
@@ -265,10 +327,12 @@ pub fn rank_candidates_with(
 
     let workers = effective_workers(workers, workload.len());
     let contributions: Vec<QueryContribution> = if workers <= 1 {
-        workload
-            .iter()
-            .map(|wq| eval_query(db, wq, candidates, &hypos, &empty_cfg, cm))
-            .collect()
+        let mut out = Vec::with_capacity(workload.len());
+        for wq in workload {
+            ctl.check("ranking")?;
+            out.push(try_eval_query(db, wq, candidates, &hypos, &empty_cfg, cm, strict)?);
+        }
+        out
     } else {
         let chunk = workload.len().div_ceil(workers);
         let hypos = &hypos;
@@ -277,20 +341,29 @@ pub fn rank_candidates_with(
             let handles: Vec<_> = workload
                 .chunks(chunk)
                 .map(|queries| {
-                    s.spawn(move || {
-                        queries
-                            .iter()
-                            .map(|wq| eval_query(db, wq, candidates, hypos, empty_cfg, cm))
-                            .collect::<Vec<_>>()
+                    s.spawn(move || -> Result<Vec<QueryContribution>, AimError> {
+                        let mut out = Vec::with_capacity(queries.len());
+                        for wq in queries {
+                            // Workers observe aborts between queries, so a
+                            // cancel/deadline lands within one query.
+                            ctl.check("ranking")?;
+                            out.push(try_eval_query(
+                                db, wq, candidates, hypos, empty_cfg, cm, strict,
+                            )?);
+                        }
+                        Ok(out)
                     })
                 })
                 .collect();
-            // Joining in spawn order restores workload order exactly.
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("ranking worker panicked"))
-                .collect()
-        })
+            // Joining in spawn order restores workload order exactly; the
+            // first error in workload order wins, and the whole phase
+            // aborts (never a partial merge), preserving bit-identity.
+            let mut all = Vec::with_capacity(workload.len());
+            for h in handles {
+                all.extend(h.join().expect("ranking worker panicked")?);
+            }
+            Ok::<_, AimError>(all)
+        })?
     };
 
     let mut benefit: BTreeMap<usize, f64> = BTreeMap::new();
@@ -317,7 +390,7 @@ pub fn rank_candidates_with(
         })
         .collect();
     ranked.sort_by(|a, b| b.density().total_cmp(&a.density()));
-    ranked
+    Ok(ranked)
 }
 
 fn written_table(stmt: &Statement) -> Option<&str> {

@@ -11,7 +11,9 @@
 //!    `(1 + λ₃)` of its pre-change cost (Eq. 4). Offending indexes are
 //!    rejected and validation repeats until stable.
 
+use crate::error::AimError;
 use crate::ranking::RankedCandidate;
+use crate::session::RunCtl;
 use aim_exec::{Engine, ExecError, ExecOutcome};
 use aim_monitor::WorkloadQuery;
 use aim_sql::ast::Statement;
@@ -67,7 +69,10 @@ impl Default for ValidationConfig {
 }
 
 /// What one replayed statement contributes to the validation verdict:
-/// its measured cost and which of the candidate indexes its plan used.
+/// its measured cost and which of the candidate indexes its plan used
+/// (`None` where execution failed).
+type Observation = Option<(f64, BTreeSet<String>)>;
+
 fn observe(out: &ExecOutcome, names: &[String]) -> (f64, BTreeSet<String>) {
     let mut used_here: BTreeSet<String> = BTreeSet::new();
     for (_, choice) in out.plan.used_indexes() {
@@ -95,7 +100,9 @@ fn replay_workload(
     engine: &Engine,
     names: &[String],
     workers: usize,
-) -> Vec<Option<(f64, BTreeSet<String>)>> {
+    ctl: &RunCtl,
+    strict: bool,
+) -> Result<Vec<Observation>, AimError> {
     let read_only = workload
         .iter()
         .all(|wq| matches!(wq.stats.exemplar, Statement::Select(_)));
@@ -105,15 +112,16 @@ fn replay_workload(
         1
     };
     if workers <= 1 {
-        return workload
-            .iter()
-            .map(|wq| {
-                engine
-                    .execute(db, &wq.stats.exemplar)
-                    .ok()
-                    .map(|out| observe(&out, names))
-            })
-            .collect();
+        let mut out = Vec::with_capacity(workload.len());
+        for wq in workload {
+            ctl.check("validation")?;
+            out.push(observe_result(
+                engine.execute(db, &wq.stats.exemplar),
+                names,
+                strict,
+            )?);
+        }
+        return Ok(out);
     }
     let chunk = workload.len().div_ceil(workers);
     let db = &*db;
@@ -121,28 +129,61 @@ fn replay_workload(
         let handles: Vec<_> = workload
             .chunks(chunk)
             .map(|queries| {
-                s.spawn(move || {
-                    queries
-                        .iter()
-                        .map(|wq| {
-                            let Statement::Select(sel) = &wq.stats.exemplar else {
-                                return None;
-                            };
-                            engine
-                                .execute_select(db, sel)
-                                .ok()
-                                .map(|out| observe(&out, names))
-                        })
-                        .collect::<Vec<_>>()
+                s.spawn(move || -> Result<Vec<_>, AimError> {
+                    let mut out = Vec::with_capacity(queries.len());
+                    for wq in queries {
+                        // Workers observe aborts between queries.
+                        ctl.check("validation")?;
+                        let Statement::Select(sel) = &wq.stats.exemplar else {
+                            out.push(None);
+                            continue;
+                        };
+                        out.push(observe_result(
+                            engine.execute_select(db, sel),
+                            names,
+                            strict,
+                        )?);
+                    }
+                    Ok(out)
                 })
             })
             .collect();
-        // Joining in spawn order restores workload order exactly.
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("validation worker panicked"))
-            .collect()
+        // Joining in spawn order restores workload order exactly; the first
+        // error aborts the whole replay (never a partial merge).
+        let mut all = Vec::with_capacity(workload.len());
+        for h in handles {
+            all.extend(h.join().expect("validation worker panicked")?);
+        }
+        Ok(all)
     })
+}
+
+/// One replayed statement's observation under the strict-mode contract:
+/// injected (transient) failures propagate so the session loop can retry,
+/// while deterministic failures degrade to `None` exactly as the legacy
+/// lenient path always did.
+fn observe_result(
+    res: Result<ExecOutcome, ExecError>,
+    names: &[String],
+    strict: bool,
+) -> Result<Observation, AimError> {
+    match res {
+        Ok(out) => Ok(Some(observe(&out, names))),
+        Err(e) if strict && e.is_injected() => Err(AimError::from_exec("validation", e)),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Clones the test bed: fault-gated (`storage.clone`) in strict mode so an
+/// injected clone failure surfaces as a retryable fault; plain `Clone`
+/// otherwise.
+fn clone_db(db: &Database, strict: bool) -> Result<Database, AimError> {
+    if strict {
+        db.try_clone()
+            .map_err(|e| AimError::from_exec("validation", ExecError::Storage(e)))
+    } else {
+        Ok(db.clone())
+    }
 }
 
 /// Why a candidate was rejected during validation.
@@ -184,6 +225,35 @@ pub fn validate_on_clone(
     engine: &Engine,
     cfg: &ValidationConfig,
 ) -> Result<ValidationOutcome, ExecError> {
+    validate_core(db, workload, chosen, engine, cfg, &RunCtl::none(), false)
+        .map_err(AimError::into_exec)
+}
+
+/// [`validate_on_clone`] under a [`RunCtl`]: replay workers observe the
+/// deadline/cancel token between queries, clone operations are fault-gated
+/// (`storage.clone`), and injected failures propagate as retryable
+/// [`AimError::Fault`]s instead of silently dropping observations. On
+/// success the verdict is bit-identical to the lenient path.
+pub fn try_validate_on_clone(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    chosen: &[RankedCandidate],
+    engine: &Engine,
+    cfg: &ValidationConfig,
+    ctl: &RunCtl,
+) -> Result<ValidationOutcome, AimError> {
+    validate_core(db, workload, chosen, engine, cfg, ctl, true)
+}
+
+fn validate_core(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    chosen: &[RankedCandidate],
+    engine: &Engine,
+    cfg: &ValidationConfig,
+    ctl: &RunCtl,
+    strict: bool,
+) -> Result<ValidationOutcome, AimError> {
     let mut accepted: Vec<RankedCandidate> = chosen.to_vec();
     let mut rejected: Vec<(RankedCandidate, RejectReason)> = Vec::new();
 
@@ -192,7 +262,7 @@ pub fn validate_on_clone(
         let _s = aim_telemetry::span("clone_test_bed");
         match cfg.sample_fraction {
             Some(f) if f < 1.0 => db.sample(f, cfg.sample_seed),
-            _ => db.clone(),
+            _ => clone_db(db, strict)?,
         }
     };
 
@@ -205,10 +275,10 @@ pub fn validate_on_clone(
         .iter()
         .all(|wq| matches!(wq.stats.exemplar, Statement::Select(_)));
     let baseline_obs = if read_only {
-        replay_workload(&mut bed, workload, engine, &[], cfg.workers)
+        replay_workload(&mut bed, workload, engine, &[], cfg.workers, ctl, strict)?
     } else {
-        let mut baseline_db = bed.clone();
-        replay_workload(&mut baseline_db, workload, engine, &[], cfg.workers)
+        let mut baseline_db = clone_db(&bed, strict)?;
+        replay_workload(&mut baseline_db, workload, engine, &[], cfg.workers, ctl, strict)?
     };
     let mut baseline: BTreeMap<QueryFingerprint, f64> = BTreeMap::new();
     for (wq, ob) in workload.iter().zip(&baseline_obs) {
@@ -227,10 +297,11 @@ pub fn validate_on_clone(
             clean_round = true;
             break;
         }
+        ctl.check("validation")?;
         let _round_span = aim_telemetry::span("validation_round");
         aim_telemetry::metrics::VALIDATION_ROUNDS.incr();
         // Fresh clone with the accepted candidates materialized.
-        let mut clone = db.clone();
+        let mut clone = clone_db(db, strict)?;
         let mut io = IoStats::new();
         let mut buildable: Vec<RankedCandidate> = Vec::new();
         for r in accepted.drain(..) {
@@ -251,6 +322,12 @@ pub fn validate_on_clone(
             }
             match clone.create_index(def, &mut io) {
                 Ok(()) => buildable.push(r),
+                Err(e) if strict && e.is_injected() => {
+                    // Transient build failure on the clone: let the session
+                    // loop retry the whole round rather than mislabelling
+                    // the candidate Unbuildable.
+                    return Err(AimError::from_exec("validation", ExecError::Storage(e)));
+                }
                 Err(e) => rejected.push((r, RejectReason::Unbuildable(e.to_string()))),
             }
         }
@@ -264,7 +341,8 @@ pub fn validate_on_clone(
         let mut improved = false;
         let mut total_before = 0.0f64;
         let mut total_after = 0.0f64;
-        let observations = replay_workload(&mut clone, workload, engine, &names, cfg.workers);
+        let observations =
+            replay_workload(&mut clone, workload, engine, &names, cfg.workers, ctl, strict)?;
         for (wq, ob) in workload.iter().zip(observations) {
             let Some((after, used_here)) = ob else {
                 continue;

@@ -14,6 +14,23 @@ pub enum ExecError {
     Unsupported(String),
     /// Runtime evaluation failure (type mismatch etc.).
     Eval(String),
+    /// A fault injected at an execution-layer site by an armed
+    /// [`aim_storage::FaultPlan`] (chaos testing).
+    FaultInjected { site: String },
+}
+
+impl ExecError {
+    /// True for errors produced by the fault-injection layer, at either
+    /// the storage or the execution layer. Injected faults model transient
+    /// infrastructure failures: they are the retryable class, while every
+    /// other `ExecError` is deterministic and retrying it is futile.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            ExecError::FaultInjected { .. } => true,
+            ExecError::Storage(e) => e.is_injected(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -23,6 +40,7 @@ impl fmt::Display for ExecError {
             ExecError::Binding(msg) => write!(f, "binding error: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             ExecError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            ExecError::FaultInjected { site } => write!(f, "injected fault at {site}"),
         }
     }
 }

@@ -75,6 +75,17 @@ impl Engine {
         stmt: &Statement,
     ) -> Result<ExecOutcome, ExecError> {
         let _span = aim_telemetry::span("exec.execute");
+        // SELECTs consult the fault gate inside `execute_select` (their
+        // only gate, so direct parallel-replay calls are also covered).
+        if !matches!(stmt, Statement::Select(_)) {
+            if let Some(aim_storage::fault::FaultKind::Fail) =
+                aim_storage::fault::hit("exec.execute")
+            {
+                return Err(ExecError::FaultInjected {
+                    site: "exec.execute".to_string(),
+                });
+            }
+        }
         let outcome = match stmt {
             Statement::Select(s) => self.execute_select(db, s),
             Statement::Insert(i) => self.execute_insert(db, i),
@@ -147,6 +158,13 @@ impl Engine {
         db: &Database,
         select: &Select,
     ) -> Result<ExecOutcome, ExecError> {
+        if let Some(aim_storage::fault::FaultKind::Fail) =
+            aim_storage::fault::hit("exec.execute")
+        {
+            return Err(ExecError::FaultInjected {
+                site: "exec.execute".to_string(),
+            });
+        }
         let config = HypoConfig::none();
         let planner = Planner::new(db, select, &config, &self.cost_model)?;
         let plan = planner.plan()?;

@@ -228,6 +228,15 @@ impl WhatIfCache {
         config: &HypoConfig,
         cm: &CostModel,
     ) -> Result<WhatIfEntry, ExecError> {
+        // Gate before any cache interaction: an injected what-if failure
+        // must neither poison the memo table nor skew hit/miss counters.
+        if let Some(aim_storage::fault::FaultKind::Fail) =
+            aim_storage::fault::hit("exec.whatif")
+        {
+            return Err(ExecError::FaultInjected {
+                site: "exec.whatif".to_string(),
+            });
+        }
         if !self.is_enabled() {
             return plan_to_entry(db, select, config, cm);
         }
@@ -429,6 +438,48 @@ mod tests {
             after.cost,
             before.cost
         );
+    }
+
+    // One test covers both exec-layer fault sites: fault state is
+    // process-global, so sequencing them here avoids cross-test races
+    // without a shared lock.
+    #[test]
+    fn injected_faults_propagate_and_never_touch_the_cache() {
+        use aim_storage::fault::{self, FaultPlan};
+
+        let mut db = db();
+        let cache = WhatIfCache::new();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let cfg = HypoConfig::only(Vec::new());
+
+        // exec.whatif: fails before any cache interaction.
+        fault::arm(FaultPlan::new(1).fail("exec.whatif", 0, 1));
+        let err = cache.eval_select(&db, &s, &cfg, &cm).unwrap_err();
+        assert!(err.is_injected(), "unexpected error class: {err}");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, 0, 0),
+            "injected fault must not touch counters or entries"
+        );
+        // Limit exhausted: the next call plans normally and memoizes.
+        cache.eval_select(&db, &s, &cfg, &cm).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        fault::disarm();
+
+        // exec.execute: both the statement path and the direct SELECT
+        // path consult the same site exactly once per call.
+        let engine = crate::executor::Engine::default();
+        fault::arm(FaultPlan::new(1).fail("exec.execute", 0, 2));
+        let stmt = parse_statement("SELECT id FROM t WHERE a = 7").unwrap();
+        let err = engine.execute(&mut db, &stmt).unwrap_err();
+        assert!(err.is_injected());
+        let err = engine.execute_select(&db, &s).unwrap_err();
+        assert!(err.is_injected());
+        engine.execute(&mut db, &stmt).unwrap();
+        let log = fault::disarm();
+        assert_eq!(log.len(), 2, "execute fired twice: {log:?}");
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Chaos suite: seeded fault schedules driven through the continuous
+//! tuning loop.
+//!
+//! Every test asserts some combination of the resilience contract:
+//!
+//! * the database passes `check_consistency` after every step, whether the
+//!   pass succeeded, degraded, retried, or aborted;
+//! * an aborted pass rolls back everything it materialized;
+//! * deadlines and cancellation are respected mid-pass;
+//! * with faults disarmed (or never matching), outcomes are bit-identical
+//!   to a fault-free run — the injection layer is zero-cost when quiet.
+//!
+//! Fault state is process-global, so tests in this binary take turns.
+
+use aim_core::continuous::ContinuousTuner;
+use aim_core::{AimConfig, AimError, RetryPolicy, TuningSession};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::fault::{self, FaultPlan};
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the test and guarantees a clean fault slate on entry and
+/// (via drop) on exit, even when the test panics.
+struct FaultGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> FaultGuard<'a> {
+    fn acquire() -> Self {
+        let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fault::disarm();
+        Self(g)
+    }
+}
+
+impl Drop for FaultGuard<'_> {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut io = IoStats::new();
+    for i in 0..6000i64 {
+        db.table_mut("orders")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 300), Value::Int(i % 12)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    db.analyze_all();
+    db
+}
+
+fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).unwrap();
+    for _ in 0..n {
+        // Under an exec.execute fault schedule some statements fail, just
+        // as they would against flaky infrastructure; only successful
+        // executions reach the monitor.
+        if let Ok(out) = engine.execute(db, &stmt) {
+            monitor.record(&stmt, &out);
+        }
+    }
+}
+
+fn selection() -> SelectionConfig {
+    SelectionConfig {
+        min_executions: 1,
+        min_benefit: 0.0,
+        max_queries: 50,
+        include_dml: true,
+    }
+}
+
+fn session() -> TuningSession {
+    AimConfig::builder().selection(selection()).session()
+}
+
+/// The observable shape of an outcome, for bit-identity comparisons:
+/// exact f64 bits, not approximate equality.
+fn shape(outcome: &aim_core::AimOutcome) -> Vec<(String, u64, u64, u64)> {
+    outcome
+        .created
+        .iter()
+        .map(|c| {
+            (
+                c.def.name.clone(),
+                c.benefit.to_bits(),
+                c.maintenance.to_bits(),
+                c.size_bytes,
+            )
+        })
+        .collect()
+}
+
+/// (a) of the chaos contract: five seeded fault schedules, each pushed
+/// through three continuous-tuning windows. Whatever the schedule does —
+/// transient failures absorbed by retries, or a pass aborted outright —
+/// the database must pass its consistency check after every step.
+#[test]
+fn seeded_fault_schedules_leave_database_consistent() {
+    let _g = FaultGuard::acquire();
+    let schedules: Vec<(&str, FaultPlan)> = vec![
+        (
+            "create-index flaky",
+            FaultPlan::new(101).fail("storage.create_index", 0, 2),
+        ),
+        (
+            "clone flaky",
+            FaultPlan::new(202).fail("storage.clone", 1, 3),
+        ),
+        (
+            "whatif 20% failure",
+            FaultPlan::new(303).fail_with_probability("exec.whatif", 0.2, 25),
+        ),
+        (
+            "stats corruption then exec faults",
+            FaultPlan::new(404)
+                .corrupt_stats("storage.analyze", 0, 1)
+                .fail("exec.execute", 5, 3),
+        ),
+        (
+            "mixed latency + failures",
+            FaultPlan::new(505)
+                .delay_ms("exec.whatif", 1, 0, 5)
+                .fail("storage.clone", 0, 1)
+                .fail("storage.create_index", 1, 1),
+        ),
+    ];
+    for (label, plan) in schedules {
+        let mut db = db();
+        let baseline_indexes = db.all_indexes().len();
+        let mut tuner = ContinuousTuner::with_session(
+            AimConfig::builder()
+                .selection(selection())
+                .retry(RetryPolicy {
+                    max_attempts: 3,
+                    initial_backoff: Duration::ZERO,
+                })
+                .session(),
+            0.5,
+        );
+        fault::arm(plan);
+        let mut aborted = 0;
+        for window in 0..3 {
+            let mut monitor = WorkloadMonitor::new();
+            let sql = if window % 2 == 0 {
+                "SELECT id FROM orders WHERE customer = 42"
+            } else {
+                "SELECT id FROM orders WHERE region = 3"
+            };
+            observe(&mut db, &mut monitor, sql, 10);
+            if tuner.step(&mut db, &monitor).is_err() {
+                aborted += 1;
+            }
+            assert!(
+                db.check_consistency().is_ok(),
+                "[{label}] window {window}: consistency violated: {:?}",
+                db.check_consistency().unwrap_err()
+            );
+        }
+        let log = fault::disarm();
+        assert!(
+            !log.is_empty(),
+            "[{label}] schedule never fired — not exercising anything"
+        );
+        // An aborted step must not have leaked partial state either.
+        if aborted == 3 {
+            assert_eq!(
+                db.all_indexes().len(),
+                baseline_indexes,
+                "[{label}] every step aborted, yet indexes appeared"
+            );
+        }
+    }
+}
+
+/// (b) of the chaos contract, half one: the same seeded schedule replayed
+/// against the same database fires at the same call sites in the same
+/// order and produces the same outcome — faults are deterministic.
+#[test]
+fn identical_schedules_replay_identically() {
+    let _g = FaultGuard::acquire();
+    let run = || {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+        fault::arm(
+            FaultPlan::new(777)
+                .fail_with_probability("exec.whatif", 0.3, 10)
+                .fail("storage.clone", 0, 1),
+        );
+        let result = AimConfig::builder()
+            .selection(selection())
+            .retry(RetryPolicy {
+                max_attempts: 4,
+                initial_backoff: Duration::ZERO,
+            })
+            .session()
+            .run(&mut db, &monitor);
+        let log: Vec<(String, u64)> = fault::disarm()
+            .into_iter()
+            .map(|i| (i.site, i.call))
+            .collect();
+        (result.map(|o| shape(&o)).map_err(|e| e.to_string()), log)
+    };
+    let (first_outcome, first_log) = run();
+    let (second_outcome, second_log) = run();
+    assert!(!first_log.is_empty(), "schedule never fired");
+    assert_eq!(first_log, second_log, "injection sequence must be deterministic");
+    assert_eq!(first_outcome, second_outcome, "outcome must be deterministic");
+}
+
+/// (b) of the chaos contract, half two: an armed-but-never-matching plan
+/// is observationally identical to no plan at all — the disarmed (and
+/// quiet-armed) fast path costs nothing and changes nothing.
+#[test]
+fn disarmed_and_nonmatching_runs_are_bit_identical_to_baseline() {
+    let _g = FaultGuard::acquire();
+    let run = |plan: Option<FaultPlan>| {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+        if let Some(p) = plan {
+            fault::arm(p);
+        }
+        let outcome = session().run(&mut db, &monitor).expect("no faults fire");
+        let log = fault::disarm();
+        assert!(log.is_empty(), "nothing may fire: {log:?}");
+        (shape(&outcome), outcome.retries, outcome.degraded)
+    };
+    let baseline = run(None);
+    assert!(!baseline.0.is_empty(), "fixture must create an index");
+    let armed_nonmatching = run(Some(FaultPlan::new(1).fail("no.such.site", 0, 99)));
+    assert_eq!(baseline, armed_nonmatching);
+    assert_eq!(baseline.1, 0, "no retries without faults");
+    assert!(!baseline.2, "not degraded without faults");
+}
+
+/// (c) of the chaos contract: a pass under a deadline it cannot meet (every
+/// what-if call sleeps) aborts with `DeadlineExceeded`, within a bounded
+/// overshoot, and rolls back anything it created.
+#[test]
+fn deadline_is_respected_and_aborted_pass_rolls_back() {
+    let _g = FaultGuard::acquire();
+    let mut db = db();
+    let mut monitor = WorkloadMonitor::new();
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE region = 3", 10);
+    let before = db.all_indexes().len();
+
+    fault::arm(FaultPlan::new(9).delay_ms("exec.whatif", 20, 0, u64::MAX));
+    let deadline = Duration::from_millis(40);
+    let started = std::time::Instant::now();
+    let err = AimConfig::builder()
+        .selection(selection())
+        .deadline(deadline)
+        .session()
+        .run(&mut db, &monitor)
+        .expect_err("a 40ms budget cannot survive 20ms per what-if call");
+    let elapsed = started.elapsed();
+    fault::disarm();
+
+    assert!(
+        matches!(err, AimError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err}"
+    );
+    // Checks run between queries, so the overshoot is bounded by one
+    // query's work — generous margin for CI jitter.
+    assert!(
+        elapsed < deadline + Duration::from_secs(2),
+        "deadline overshot unreasonably: {elapsed:?}"
+    );
+    assert_eq!(db.all_indexes().len(), before, "aborted pass must roll back");
+    assert!(db.check_consistency().is_ok());
+}
+
+/// Satellite: cancellation from another thread lands mid-ranking (latency
+/// faults keep the phase busy long enough), aborts the pass, and leaves
+/// no trace behind.
+#[test]
+fn cancellation_mid_ranking_aborts_and_rolls_back() {
+    let _g = FaultGuard::acquire();
+    let mut db = db();
+    let mut monitor = WorkloadMonitor::new();
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE region = 3", 10);
+    let before = db.all_indexes().len();
+
+    fault::arm(FaultPlan::new(11).delay_ms("exec.whatif", 10, 0, u64::MAX));
+    let session = session();
+    let token = session.cancel_token();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(25));
+        token.cancel();
+    });
+    let err = session
+        .run(&mut db, &monitor)
+        .expect_err("cancelled pass must not complete");
+    canceller.join().unwrap();
+    fault::disarm();
+
+    assert!(matches!(err, AimError::Cancelled { .. }), "got {err}");
+    // The slow phase the cancel landed in is ranking (every what-if call
+    // sleeps 10ms; selection and candidate generation do none).
+    assert_eq!(err.phase(), "ranking");
+    assert_eq!(db.all_indexes().len(), before, "cancelled pass must roll back");
+    assert!(db.check_consistency().is_ok());
+}
+
+/// Satellite: a transient fault during validation (the test-bed clone
+/// fails once) is retried and the pass converges to the exact outcome of
+/// a fault-free run — bit-identical, with the retry recorded.
+#[test]
+fn fault_during_validation_retries_to_bit_identical_outcome() {
+    let _g = FaultGuard::acquire();
+    let run = |plan: Option<FaultPlan>| {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+        if let Some(p) = plan {
+            fault::arm(p);
+        }
+        let outcome = AimConfig::builder()
+            .selection(selection())
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::ZERO,
+            })
+            .session()
+            .run(&mut db, &monitor)
+            .expect("retries must absorb a single transient fault");
+        let log = fault::disarm();
+        (shape(&outcome), outcome.retries, log)
+    };
+
+    let (clean_shape, clean_retries, _) = run(None);
+    assert!(!clean_shape.is_empty(), "fixture must create an index");
+    assert_eq!(clean_retries, 0);
+
+    let (faulted_shape, faulted_retries, log) =
+        run(Some(FaultPlan::new(33).fail("storage.clone", 0, 1)));
+    assert_eq!(log.len(), 1, "exactly the planned fault fires: {log:?}");
+    assert!(faulted_retries > 0, "the transient fault must cost a retry");
+    assert_eq!(
+        clean_shape, faulted_shape,
+        "post-retry outcome must be bit-identical to the fault-free run"
+    );
+}
+
+/// A fault that outlives the retry budget aborts the pass with the
+/// retryable error classified correctly — and still rolls back.
+#[test]
+fn exhausted_retries_abort_with_fault_error() {
+    let _g = FaultGuard::acquire();
+    let mut db = db();
+    let mut monitor = WorkloadMonitor::new();
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+    let before = db.all_indexes().len();
+
+    fault::arm(FaultPlan::new(55).fail("storage.clone", 0, u64::MAX));
+    let err = AimConfig::builder()
+        .selection(selection())
+        .retry(RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::ZERO,
+        })
+        .session()
+        .run(&mut db, &monitor)
+        .expect_err("a permanent clone failure must abort validation");
+    fault::disarm();
+
+    assert!(err.is_retryable(), "exhaustion surfaces the transient error: {err}");
+    assert_eq!(err.phase(), "validation");
+    assert_eq!(db.all_indexes().len(), before);
+    assert!(db.check_consistency().is_ok());
+}
+
+/// Corrupted statistics must never corrupt *data*: a schedule that poisons
+/// ANALYZE output can skew decisions, but consistency and rollback still
+/// hold, and the next clean ANALYZE self-heals.
+#[test]
+fn corrupted_statistics_do_not_break_consistency() {
+    let _g = FaultGuard::acquire();
+    let mut db = db();
+    let mut tuner = ContinuousTuner::with_session(
+        AimConfig::builder().selection(selection()).session(),
+        0.5,
+    );
+    fault::arm(FaultPlan::new(66).corrupt_stats("storage.analyze", 0, u64::MAX));
+    for window in 0..2 {
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+        let _ = tuner.step(&mut db, &monitor);
+        assert!(
+            db.check_consistency().is_ok(),
+            "window {window}: {:?}",
+            db.check_consistency().unwrap_err()
+        );
+    }
+    fault::disarm();
+    // Self-heal: a clean re-ANALYZE restores sane statistics.
+    db.analyze_all();
+    assert!(db.check_consistency().is_ok());
+    let rows = db.table("orders").unwrap().row_count();
+    assert_eq!(db.stats("orders").unwrap().row_count as usize, rows);
+}

@@ -1,8 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from SQL text through
 //! storage, execution, monitoring, tuning and back to faster execution.
 
-use aim_core::driver::{Aim, AimConfig};
-use aim_core::{AimAdvisor, IndexAdvisor};
+use aim_core::{AimAdvisor, AimConfig, IndexAdvisor};
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -53,11 +52,8 @@ fn tuning_never_regresses_the_observed_workload() {
         })
         .collect();
 
-    let aim = Aim::new(AimConfig {
-        selection: quick_selection(),
-        ..Default::default()
-    });
-    let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+    let session = AimConfig::builder().selection(quick_selection()).session();
+    let outcome = session.run(&mut db, &monitor).expect("tuning pass");
     assert!(!outcome.created.is_empty());
 
     for (stmt, before_cost) in before {
@@ -101,11 +97,8 @@ fn results_identical_before_and_after_tuning() {
         before.push(rows);
     }
 
-    let aim = Aim::new(AimConfig {
-        selection: quick_selection(),
-        ..Default::default()
-    });
-    aim.tune(&mut db, &monitor).expect("tuning pass");
+    let session = AimConfig::builder().selection(quick_selection()).session();
+    session.run(&mut db, &monitor).expect("tuning pass");
 
     for (q, expected) in queries.iter().zip(&before) {
         let out = engine.execute(&mut db, q).expect("executes");
@@ -137,16 +130,15 @@ fn budget_is_respected_end_to_end() {
     let w = build(profile);
     let mut db = w.db.clone();
     let budget = 200_000u64;
-    let aim = Aim::new(AimConfig {
-        selection: quick_selection(),
-        storage_budget: budget,
-        ..Default::default()
-    });
+    let session = AimConfig::builder()
+        .selection(quick_selection())
+        .storage_budget(budget)
+        .session();
     let mut replayer = Replayer::new(w.specs.clone(), 3);
     for _ in 0..3 {
         let mut monitor = WorkloadMonitor::new();
         replayer.run_tick(&mut db, Some(&mut monitor), 120, f64::INFINITY);
-        aim.tune(&mut db, &monitor).expect("tuning pass");
+        session.run(&mut db, &monitor).expect("tuning pass");
         assert!(
             db.total_secondary_index_bytes() <= budget + budget / 4,
             "budget exceeded: {} > {budget} (estimate tolerance 25%)",
@@ -183,21 +175,20 @@ fn aim_bench_bootstrap(
     db: &mut Database,
     specs: &[aim_workloads::replay::QuerySpec],
 ) -> Vec<aim_storage::IndexDef> {
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 2,
             min_benefit: 0.5,
             max_queries: usize::MAX,
             include_dml: true,
-        },
-        ..Default::default()
-    });
+        })
+        .session();
     let mut replayer = Replayer::new(specs.to_vec(), 42);
     let mut created = Vec::new();
     for _ in 0..4 {
         let mut monitor = WorkloadMonitor::new();
         replayer.run_tick(db, Some(&mut monitor), specs.len() * 3, f64::INFINITY);
-        let outcome = aim.tune(db, &monitor).expect("tuning pass");
+        let outcome = session.run(db, &monitor).expect("tuning pass");
         let n = outcome.created.len();
         created.extend(outcome.created.into_iter().map(|c| c.def));
         if n == 0 {
@@ -258,10 +249,7 @@ fn advisor_and_driver_agree_on_candidates() {
         let out = engine.execute(&mut db, &stmt).expect("executes");
         monitor.record(&stmt, &out);
     }
-    let aim = Aim::new(AimConfig {
-        selection: quick_selection(),
-        ..Default::default()
-    });
-    let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+    let session = AimConfig::builder().selection(quick_selection()).session();
+    let outcome = session.run(&mut db, &monitor).expect("tuning pass");
     assert!(outcome.created.iter().any(|c| c.def.columns[0] == "a"));
 }

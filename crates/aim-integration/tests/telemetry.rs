@@ -3,7 +3,7 @@
 //! counter taxonomy, and the stability of the event sequence across
 //! identical runs.
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::{AimConfig, TuningSession};
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -52,16 +52,15 @@ fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize
     }
 }
 
-fn aim() -> Aim {
-    Aim::new(AimConfig {
-        selection: SelectionConfig {
+fn aim() -> TuningSession {
+    AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 1,
             min_benefit: 0.0,
             max_queries: 50,
             include_dml: true,
-        },
-        ..Default::default()
-    })
+        })
+        .session()
 }
 
 /// One full observed tuning pass; returns the profile tree and the event
@@ -83,7 +82,7 @@ fn traced_tune() -> (ProfileNode, Vec<aim_telemetry::Event>) {
     let handle = sink.handle();
     aim_telemetry::add_sink(Box::new(sink));
 
-    let outcome = aim().tune(&mut db, &monitor).unwrap();
+    let outcome = aim().run(&mut db, &monitor).unwrap();
     assert!(
         !outcome.created.is_empty(),
         "fixture must create an index; rejected: {:?}",

@@ -33,6 +33,9 @@ pub struct Database {
     /// mutable access and by re-analysis that changed statistics. What-if
     /// cost caches key on this to invalidate on data or stats drift.
     epoch: u64,
+    /// True when data/schema may have changed since the last full
+    /// [`Database::analyze_all`] — the ANALYZE-worth-running signal.
+    dirty: bool,
 }
 
 impl Default for Database {
@@ -42,6 +45,7 @@ impl Default for Database {
             stats: BTreeMap::new(),
             id: next_db_id(),
             epoch: 0,
+            dirty: false,
         }
     }
 }
@@ -53,6 +57,7 @@ impl Clone for Database {
             stats: self.stats.clone(),
             id: next_db_id(),
             epoch: self.epoch,
+            dirty: self.dirty,
         }
     }
 }
@@ -75,12 +80,21 @@ impl Database {
         self.epoch
     }
 
+    /// True when data or schema may have drifted from the installed
+    /// statistics — i.e. a mutable table handle was taken since the last
+    /// [`Database::analyze_all`]. Tuning passes use this to skip redundant
+    /// ANALYZE work (and the what-if cache churn it can cause).
+    pub fn stats_dirty(&self) -> bool {
+        self.dirty
+    }
+
     /// Creates a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StorageError> {
         if self.tables.contains_key(&schema.name) {
             return Err(StorageError::DuplicateTable(schema.name));
         }
         self.epoch += 1;
+        self.dirty = true;
         self.tables.insert(schema.name.clone(), Table::new(schema));
         Ok(())
     }
@@ -104,6 +118,7 @@ impl Database {
             .get_mut(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
         self.epoch += 1;
+        self.dirty = true;
         Ok(table)
     }
 
@@ -117,10 +132,31 @@ impl Database {
         self.tables.values()
     }
 
-    /// Creates and populates a secondary index.
+    /// Creates and populates a secondary index. The build is atomic: it
+    /// either installs a fully populated index or fails before any table
+    /// state changes (the fault-injection gate sits before the build, so
+    /// an injected failure can never leave a half-built index).
     pub fn create_index(&mut self, def: IndexDef, io: &mut IoStats) -> Result<(), StorageError> {
+        if let Some(crate::fault::FaultKind::Fail) = crate::fault::hit("storage.create_index") {
+            return Err(StorageError::FaultInjected {
+                site: "storage.create_index".to_string(),
+            });
+        }
         let table = self.table_mut(&def.table.clone())?;
         table.create_index(def, io)
+    }
+
+    /// Clones the database, modelling the paper's MyShadow test-environment
+    /// provisioning — which, unlike in-process [`Clone`], can fail (no
+    /// capacity, provider outage). Fault plans arm `storage.clone` to
+    /// exercise that path; without an armed fault this is `self.clone()`.
+    pub fn try_clone(&self) -> Result<Database, StorageError> {
+        if let Some(crate::fault::FaultKind::Fail) = crate::fault::hit("storage.clone") {
+            return Err(StorageError::FaultInjected {
+                site: "storage.clone".to_string(),
+            });
+        }
+        Ok(self.clone())
     }
 
     /// Drops a secondary index by name.
@@ -142,11 +178,26 @@ impl Database {
         self.tables.values().map(Table::secondary_index_bytes).sum()
     }
 
+    /// Applies an armed `storage.analyze` stats-corruption fault: every
+    /// column collapses to NDV 1 over a wildly inflated row count — the
+    /// shape of a catastrophically stale or mangled ANALYZE result.
+    fn maybe_corrupt(stats: &mut TableStats) {
+        if crate::fault::hit("storage.analyze") != Some(crate::fault::FaultKind::CorruptStats) {
+            return;
+        }
+        stats.row_count = stats.row_count.saturating_mul(1000).max(1_000_000);
+        for col in stats.columns.values_mut() {
+            col.ndv = 1;
+            col.row_count = stats.row_count;
+        }
+    }
+
     /// Recomputes statistics for one table. Bumps the stats epoch only when
     /// the recomputed statistics actually differ, so re-analysis of
     /// unchanged data keeps what-if cost caches warm.
     pub fn analyze_table(&mut self, name: &str) -> Result<(), StorageError> {
-        let stats = analyze(self.table(name)?, DEFAULT_BUCKETS);
+        let mut stats = analyze(self.table(name)?, DEFAULT_BUCKETS);
+        Self::maybe_corrupt(&mut stats);
         if self.stats.get(name) != Some(&stats) {
             self.epoch += 1;
             self.stats.insert(name.to_string(), stats);
@@ -155,15 +206,45 @@ impl Database {
     }
 
     /// Recomputes statistics for every table (same epoch discipline as
-    /// [`Database::analyze_table`]).
+    /// [`Database::analyze_table`]) and clears the dirty flag: statistics
+    /// are now in sync with the data.
     pub fn analyze_all(&mut self) {
         let names: Vec<String> = self.tables.keys().cloned().collect();
         for name in names {
-            let stats = analyze(&self.tables[&name], DEFAULT_BUCKETS);
+            let mut stats = analyze(&self.tables[&name], DEFAULT_BUCKETS);
+            Self::maybe_corrupt(&mut stats);
             if self.stats.get(&name) != Some(&stats) {
                 self.epoch += 1;
                 self.stats.insert(name, stats);
             }
+        }
+        self.dirty = false;
+    }
+
+    /// Structural consistency audit, used by chaos tests after fault-laden
+    /// tuning runs: every secondary index must cover exactly the rows of
+    /// its table (no half-built, stale or orphaned indexes). Returns every
+    /// violation found.
+    pub fn check_consistency(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        for table in self.tables.values() {
+            let rows = table.row_count();
+            for ix in table.indexes() {
+                if ix.len() != rows {
+                    violations.push(format!(
+                        "index {} on {} holds {} entries for {} rows",
+                        ix.def().name,
+                        table.schema().name,
+                        ix.len(),
+                        rows
+                    ));
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
         }
     }
 
@@ -420,6 +501,91 @@ mod tests {
             .unwrap();
         db.analyze_all();
         assert!(db.stats_epoch() >= e + 2);
+    }
+
+    #[test]
+    fn dirty_flag_tracks_mutation_and_analyze() {
+        let mut db = db();
+        assert!(db.stats_dirty(), "create_table marks stats dirty");
+        db.analyze_all();
+        assert!(!db.stats_dirty());
+        let mut io = IoStats::new();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Int(10)], &mut io)
+            .unwrap();
+        assert!(db.stats_dirty(), "DML marks stats dirty");
+        db.analyze_all();
+        assert!(!db.stats_dirty());
+        // Index DDL flows through table_mut and re-dirties.
+        db.create_index(IndexDef::new("ix_a", "t", vec!["a".into()]), &mut io)
+            .unwrap();
+        assert!(db.stats_dirty());
+        // Clones inherit the flag.
+        db.analyze_all();
+        assert!(!db.clone().stats_dirty());
+    }
+
+    #[test]
+    fn try_clone_fails_only_under_injected_fault() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let db = db();
+        assert!(db.try_clone().is_ok());
+        crate::fault::arm(crate::fault::FaultPlan::new(7).fail("storage.clone", 0, 1));
+        let err = db.try_clone().unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        assert!(db.try_clone().is_ok(), "limit 1: second clone succeeds");
+        crate::fault::disarm();
+    }
+
+    #[test]
+    fn create_index_fault_leaves_no_partial_index() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..50 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 5)], &mut io)
+                .unwrap();
+        }
+        crate::fault::arm(crate::fault::FaultPlan::new(7).fail("storage.create_index", 0, 1));
+        let def = IndexDef::new("ix_a", "t", vec!["a".into()]);
+        assert!(db.create_index(def.clone(), &mut io).unwrap_err().is_injected());
+        assert!(db.all_indexes().is_empty(), "failed build must not install");
+        db.check_consistency().expect("consistent after injected failure");
+        // Retry (fault budget exhausted) succeeds and is fully populated.
+        db.create_index(def, &mut io).unwrap();
+        crate::fault::disarm();
+        db.check_consistency().expect("consistent after retry");
+        assert_eq!(db.table("t").unwrap().index("ix_a").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn corrupted_stats_detected_and_healed_by_reanalyze() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let mut db = db();
+        let mut io = IoStats::new();
+        for i in 0..100 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 10)], &mut io)
+                .unwrap();
+        }
+        crate::fault::arm(crate::fault::FaultPlan::new(7).corrupt_stats("storage.analyze", 0, 1));
+        db.analyze_all();
+        crate::fault::disarm();
+        let corrupted = db.stats("t").unwrap();
+        assert_eq!(corrupted.column("a").unwrap().ndv, 1);
+        assert!(corrupted.row_count >= 1_000_000);
+        // Data itself is untouched; a clean ANALYZE restores truth.
+        db.check_consistency().expect("corruption affects stats only");
+        db.analyze_all();
+        assert_eq!(db.stats("t").unwrap().row_count, 100);
+        assert_eq!(db.stats("t").unwrap().column("a").unwrap().ndv, 10);
     }
 
     #[test]

@@ -16,6 +16,18 @@ pub enum StorageError {
     DuplicateKey { table: String, key: String },
     /// Row arity or value type does not match the schema.
     RowMismatch(String),
+    /// A fault injected by an armed [`crate::fault::FaultPlan`] (chaos
+    /// testing); `site` names the instrumented operation that failed.
+    FaultInjected { site: String },
+}
+
+impl StorageError {
+    /// True for errors produced by the fault-injection layer. Injected
+    /// faults model transient infrastructure failures and are the only
+    /// storage errors worth retrying.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, StorageError::FaultInjected { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +49,9 @@ impl fmt::Display for StorageError {
                 write!(f, "duplicate key {key} in table {table}")
             }
             StorageError::RowMismatch(msg) => write!(f, "row mismatch: {msg}"),
+            StorageError::FaultInjected { site } => {
+                write!(f, "injected fault at {site}")
+            }
         }
     }
 }

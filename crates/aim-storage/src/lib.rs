@@ -43,6 +43,7 @@
 
 pub mod database;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod io;
 pub mod schema;
@@ -52,6 +53,7 @@ pub mod value;
 
 pub use database::Database;
 pub use error::StorageError;
+pub use fault::{FaultKind, FaultPlan, FaultRule, Injection};
 pub use index::SecondaryIndex;
 pub use io::{pages_for, IoStats, PAGE_SIZE};
 pub use schema::{ColumnDef, ColumnType, IndexDef, TableSchema};

@@ -86,6 +86,14 @@ pub static INDEXES_CREATED: Counter = Counter::new("aim.indexes_created");
 pub static INDEXES_REJECTED: Counter = Counter::new("aim.indexes_rejected");
 /// Regressions flagged by the continuous detector.
 pub static REGRESSIONS_DETECTED: Counter = Counter::new("aim.regressions_detected");
+/// Phase retries after a transient (injected) failure.
+pub static TUNING_RETRIES: Counter = Counter::new("aim.retries");
+/// Passes that finished in a degraded mode (sequential fallback or a
+/// shrunken validation sample) after repeated transient failures.
+pub static DEGRADED_PASSES: Counter = Counter::new("aim.degraded_passes");
+/// Passes aborted (deadline, cancellation, or retries exhausted) and
+/// rolled back.
+pub static PASSES_ABORTED: Counter = Counter::new("aim.passes_aborted");
 
 static BUILTIN: &[&Counter] = &[
     &WHATIF_CALLS,
@@ -103,6 +111,9 @@ static BUILTIN: &[&Counter] = &[
     &INDEXES_CREATED,
     &INDEXES_REJECTED,
     &REGRESSIONS_DETECTED,
+    &TUNING_RETRIES,
+    &DEGRADED_PASSES,
+    &PASSES_ABORTED,
 ];
 
 // ------------------------------------------------------------ registry

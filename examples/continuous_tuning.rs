@@ -6,7 +6,7 @@
 //! ```
 
 use aim_core::continuous::ContinuousTuner;
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -48,15 +48,14 @@ fn main() {
     db.analyze_all();
 
     let engine = Engine::new();
-    let mut tuner = ContinuousTuner::new(
-        Aim::new(AimConfig {
-            selection: SelectionConfig {
+    let mut tuner = ContinuousTuner::with_session(
+        AimConfig::builder()
+            .selection(SelectionConfig {
                 min_executions: 2,
                 min_benefit: 0.5,
                 ..Default::default()
-            },
-            ..Default::default()
-        }),
+            })
+            .session(),
         0.5,
     );
     tuner.unused_grace_windows = 2;

@@ -10,7 +10,7 @@
 //! cargo run -p aim-bench --example ecommerce_bootstrap --release
 //! ```
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -178,16 +178,15 @@ fn main() {
 
     // Multiple rounds: the second round sees the narrow indexes in use and
     // can promote qualifying queries to covering indexes.
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 2,
             min_benefit: 0.5,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .session();
     for round in 1..=3 {
-        let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+        let outcome = session.run(&mut db, &monitor).expect("tuning pass");
         println!("\n=== tuning round {round}: {} new indexes ===", outcome.created.len());
         for c in &outcome.created {
             println!("  {}", c.explanation);

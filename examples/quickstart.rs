@@ -4,7 +4,7 @@
 //! cargo run -p aim-bench --example quickstart --release
 //! ```
 
-use aim_core::driver::{Aim, AimConfig};
+use aim_core::AimConfig;
 use aim_exec::Engine;
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -68,15 +68,14 @@ fn main() {
     );
 
     // 3. One AIM tuning pass.
-    let aim = Aim::new(AimConfig {
-        selection: SelectionConfig {
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
             min_executions: 2,
             min_benefit: 0.5,
             ..Default::default()
-        },
-        ..Default::default()
-    });
-    let outcome = aim.tune(&mut db, &monitor).expect("tuning pass");
+        })
+        .session();
+    let outcome = session.run(&mut db, &monitor).expect("tuning pass");
     println!(
         "\nAIM examined {} queries, generated {} candidates, created {} indexes in {:?}:",
         outcome.workload_size,

@@ -17,4 +17,9 @@ echo "== bench_whatif smoke (what-if cache regression gate)"
 # 0% cache hit rate — i.e. epoch keying or statement fingerprinting broke.
 ./target/release/bench_whatif smoke
 
+echo "== chaos smoke (fault-injection resilience gate)"
+# Seeded fault schedule through the continuous tuning loop; exits non-zero on
+# a consistency violation, a leaked partial pass, or disarmed-run divergence.
+./target/release/chaos_smoke
+
 echo "== ci: all checks passed"
