@@ -11,16 +11,25 @@
 //! aim> \tune
 //! ```
 //!
-//! Non-interactive profiling mode — executes a named workload, runs one
-//! tuning pass with telemetry enabled, and prints the span tree plus
-//! counters:
+//! Non-interactive modes:
 //!
 //! ```sh
+//! # one tuning pass with telemetry; prints span tree + counters
 //! cargo run -p aim-bench --bin aim_cli --release -- --profile tpch
+//!
+//! # plan EXPLAIN: chosen access path per join step, plus every
+//! # considered-but-rejected alternative with its cost
+//! cargo run -p aim-bench --bin aim_cli --release -- \
+//!     explain demo "SELECT id FROM orders WHERE customer_id = 7"
+//!
+//! # continuous tuning over N observation windows, with the live
+//! # introspection endpoint (/metrics, /journal, /profile, /ledger)
+//! cargo run -p aim-bench --bin aim_cli --release -- \
+//!     continuous tpch --windows 3 --serve 7800
 //! ```
 
 use aim_core::{AimConfig, TuningSession};
-use aim_exec::{Engine, HypoConfig, Planner};
+use aim_exec::{Engine, HypoConfig};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
 use aim_storage::{Database, Value};
@@ -32,6 +41,17 @@ fn main() {
         let workload = args.get(i + 1).map(String::as_str).unwrap_or("demo");
         run_profile(workload);
         return;
+    }
+    match args.first().map(String::as_str) {
+        Some("explain") => {
+            run_explain(&args[1..]);
+            return;
+        }
+        Some("continuous") => {
+            run_continuous(&args[1..]);
+            return;
+        }
+        _ => {}
     }
     let mut db = Database::new();
     let engine = Engine::new();
@@ -97,12 +117,9 @@ fn run_command(
         "explain" => match parse_statement(rest) {
             Ok(aim_sql::Statement::Select(s)) => {
                 let cfg = HypoConfig::none();
-                match Planner::new(db, &s, &cfg, &engine.cost_model) {
-                    Ok(p) => match p.plan() {
-                        Ok(plan) => print!("{}", plan.explain(&p.binder)),
-                        Err(e) => println!("plan error: {e}"),
-                    },
-                    Err(e) => println!("bind error: {e}"),
+                match aim_exec::explain_select(db, &s, &cfg, &engine.cost_model) {
+                    Ok((_plan, ex)) => print!("{}", ex.render_text()),
+                    Err(e) => println!("explain error: {e}"),
                 }
             }
             Ok(_) => println!("\\explain supports SELECT statements"),
@@ -194,18 +211,31 @@ fn run_sql(sql: &str, db: &mut Database, engine: &Engine, monitor: &mut Workload
     }
 }
 
-/// `--profile <workload>`: execute the workload once, run one tuning pass
-/// with telemetry on, and print the phase tree + counters.
-fn run_profile(workload: &str) {
-    use aim_core::WeightedQuery;
-
-    let engine = Engine::new();
-    let mut monitor = WorkloadMonitor::new();
-    let (mut db, weighted): (Database, Vec<WeightedQuery>) = match workload {
+/// Builds the named workload fixture: its database plus a weighted query
+/// set to drive the monitor. For `demo` the monitor is additionally
+/// seeded with a few executions (the REPL behaviour).
+fn workload_fixture(
+    workload: &str,
+    engine: &Engine,
+    monitor: &mut WorkloadMonitor,
+) -> (Database, Vec<aim_core::WeightedQuery>) {
+    match workload {
         "demo" => {
             let mut db = Database::new();
-            load_demo(&mut db, &engine, &mut monitor);
-            (db, Vec::new())
+            load_demo(&mut db, engine, monitor);
+            let weighted = [7, 13, 99]
+                .iter()
+                .map(|v| {
+                    aim_core::WeightedQuery::new(
+                        parse_statement(&format!(
+                            "SELECT id FROM orders WHERE customer_id = {v}"
+                        ))
+                        .expect("valid"),
+                        3.0,
+                    )
+                })
+                .collect();
+            (db, weighted)
         }
         "tpch" => (
             aim_workloads::tpch::build_database(&Default::default()),
@@ -227,7 +257,247 @@ fn run_profile(workload: &str) {
             eprintln!("unknown workload '{other}' (demo, tpch, tpcds, job, join_heavy)");
             std::process::exit(2);
         }
+    }
+}
+
+/// `explain [--json] [--execute] [--tune] [--hypo] [workload] "<SELECT>"`:
+/// plan the query against the named workload fixture and show the chosen
+/// access path per join step next to every considered-but-rejected
+/// alternative with its cost. `--tune` runs an AIM pass first (so real
+/// AIM indexes compete), `--hypo` adds the top generated candidates as
+/// hypothetical indexes, `--execute` runs the query and appends measured
+/// actuals, `--json` emits the machine-readable form.
+fn run_explain(args: &[String]) {
+    let mut json = false;
+    let mut execute = false;
+    let mut tune = false;
+    let mut hypo = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--execute" => execute = true,
+            "--tune" => tune = true,
+            "--hypo" => hypo = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let (workload, sql) = match positional.as_slice() {
+        [sql] => ("demo".to_string(), (*sql).clone()),
+        [wl, sql] => ((*wl).clone(), (*sql).clone()),
+        _ => {
+            eprintln!(
+                "usage: aim_cli explain [--json] [--execute] [--tune] [--hypo] \
+                 [workload] \"<SELECT>\""
+            );
+            std::process::exit(2);
+        }
     };
+
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let (mut db, weighted) = workload_fixture(&workload, &engine, &mut monitor);
+    let stmt = match parse_statement(&sql) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let aim_sql::Statement::Select(select) = stmt.clone() else {
+        eprintln!("explain supports SELECT statements");
+        std::process::exit(2);
+    };
+
+    if tune || hypo {
+        for wq in &weighted {
+            if let Ok(out) = engine.execute(&mut db, &wq.statement) {
+                monitor.record(&wq.statement, &out);
+            }
+        }
+    }
+    if tune {
+        let session = AimConfig::builder()
+            .selection(SelectionConfig {
+                min_executions: 1,
+                min_benefit: 0.5,
+                ..Default::default()
+            })
+            .session();
+        match session.run(&mut db, &monitor) {
+            Ok(o) => eprintln!("tuned: {} indexes created, {} rejected", o.created.len(), o.rejected.len()),
+            Err(e) => eprintln!("tuning failed: {e}"),
+        }
+    }
+    let mut cfg = HypoConfig::none();
+    if hypo {
+        let wl = aim_monitor::select_workload(
+            &monitor,
+            &SelectionConfig {
+                min_executions: 1,
+                min_benefit: 0.0,
+                ..Default::default()
+            },
+        );
+        let cands = aim_core::generate_candidates(&db, &wl, &Default::default());
+        for c in cands.iter().take(8) {
+            let def = aim_storage::IndexDef::new(c.name(), c.table.clone(), c.columns.clone());
+            if let Some(h) = aim_exec::HypotheticalIndex::build(&db, def) {
+                cfg.indexes.push(std::sync::Arc::new(h));
+            }
+        }
+    }
+
+    match aim_exec::explain_select(&db, &select, &cfg, &engine.cost_model) {
+        Ok((_plan, mut ex)) => {
+            if execute {
+                match engine.execute(&mut db, &stmt) {
+                    Ok(out) => {
+                        ex = ex.with_actuals(out.rows.len() as u64, out.io.rows_read, out.cost);
+                    }
+                    Err(e) => eprintln!("execute failed: {e}"),
+                }
+            }
+            if json {
+                println!("{}", ex.render_json());
+            } else {
+                print!("{}", ex.render_text());
+            }
+        }
+        Err(e) => {
+            eprintln!("explain error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `continuous [workload] [--windows N] [--serve PORT]`: run N
+/// observation-window steps of the continuous tuner with the decision
+/// ledger recording, optionally exposing the live introspection endpoint.
+/// Writes `results/decision_ledger.json` and a telemetry artifact on
+/// completion.
+fn run_continuous(args: &[String]) {
+    let mut workload = "demo".to_string();
+    let mut windows = 3usize;
+    let mut serve: Option<u16> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--windows" => {
+                i += 1;
+                windows = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--windows needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--serve" => {
+                i += 1;
+                serve = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--serve needs a port");
+                    std::process::exit(2);
+                }));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => workload = other.to_string(),
+        }
+        i += 1;
+    }
+
+    let engine = Engine::new();
+    let mut seed_monitor = WorkloadMonitor::new();
+    let (mut db, weighted) = workload_fixture(&workload, &engine, &mut seed_monitor);
+
+    aim_telemetry::reset();
+    aim_telemetry::enable();
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.5,
+            ..Default::default()
+        })
+        .ledger(true)
+        .session();
+    // The /ledger endpoint reads through a clone: TuningSession clones
+    // share one ledger.
+    let ledger_handle = session.clone();
+    aim_telemetry::set_ledger_source(Box::new(move || ledger_handle.ledger_json()));
+    let server = serve.map(|port| match aim_telemetry::IntrospectionServer::start(port) {
+        Ok(s) => {
+            println!(
+                "introspection endpoint: http://{} (/metrics /journal /profile /ledger)",
+                s.addr()
+            );
+            s
+        }
+        Err(e) => {
+            eprintln!("--serve {port}: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    let mut tuner = aim_core::ContinuousTuner::with_session(session.clone(), 0.5);
+    for w in 1..=windows {
+        let mut monitor = WorkloadMonitor::new();
+        for wq in &weighted {
+            if let Ok(out) = engine.execute(&mut db, &wq.statement) {
+                monitor.record(&wq.statement, &out);
+            }
+        }
+        match tuner.step(&mut db, &monitor) {
+            Ok(out) => println!(
+                "window {w}: created {}, rejected {}, reverted {}, dropped {}",
+                out.tuning.created.len(),
+                out.tuning.rejected.len(),
+                out.reverted.len(),
+                out.dropped_unused.len()
+            ),
+            Err(e) => println!("window {w}: step failed: {e}"),
+        }
+        // Make this thread's span tree visible to the /profile endpoint.
+        aim_telemetry::publish_profile();
+    }
+
+    let ledger = session.ledger();
+    if let Err(e) = ledger.write_json("results/decision_ledger.json") {
+        eprintln!("failed to write results/decision_ledger.json: {e}");
+    } else {
+        println!(
+            "decision ledger: {} records over {} passes -> results/decision_ledger.json",
+            ledger.len(),
+            ledger.passes
+        );
+    }
+    let label = format!("continuous:{workload}");
+    if let Err(e) = aim_telemetry::write_artifact("results/continuous_telemetry.json", &label) {
+        eprintln!("failed to write telemetry artifact: {e}");
+    }
+
+    if let Some(server) = server {
+        println!("endpoint still serving on http://{}; press Enter (or close stdin) to exit", server.addr());
+        let mut line = String::new();
+        let _ = std::io::stdin().lock().read_line(&mut line);
+        server.shutdown();
+    }
+    aim_telemetry::clear_ledger_source();
+    aim_telemetry::disable();
+}
+
+/// `--profile <workload>`: execute the workload once, run one tuning pass
+/// with telemetry on, and print the phase tree + counters.
+fn run_profile(workload: &str) {
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let (mut db, weighted) = workload_fixture(workload, &engine, &mut monitor);
 
     aim_telemetry::enable();
     aim_telemetry::reset();

@@ -1,0 +1,207 @@
+//! CI smoke test for the explainability surface.
+//!
+//! Reads an `ExplainPlan` JSON document from stdin (as produced by
+//! `aim_cli explain --json ...`) and validates its structure, then stands
+//! up the live introspection endpoint around a real tuning pass and
+//! checks that `/metrics` serves Prometheus text with quantile lines,
+//! `/ledger` serves the decision ledger, and shutdown releases the port.
+//!
+//! ```sh
+//! ./target/release/aim_cli explain --json demo \
+//!     "SELECT id FROM orders WHERE customer_id = 7" \
+//!     | ./target/release/explain_smoke
+//! ```
+//!
+//! Exits non-zero with a message on the first failed check.
+
+use aim_core::AimConfig;
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+use aim_telemetry::jsonv::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("explain_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn check(cond: bool, msg: &str) {
+    if !cond {
+        fail(msg);
+    }
+}
+
+/// Validates the ExplainPlan JSON contract: at least one node, each node
+/// has exactly one chosen alternative, every priced alternative carries a
+/// cost, and plan totals are present.
+fn validate_explain_json(text: &str) {
+    let doc = match jsonv::parse(text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("explain JSON does not parse: {e}")),
+    };
+    let nodes = doc
+        .path("nodes")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("missing nodes array"));
+    check(!nodes.is_empty(), "explain has no plan nodes");
+    for node in nodes {
+        for key in ["step", "binding", "table", "est_rows", "est_cost"] {
+            check(node.path(key).is_some(), &format!("node missing {key}"));
+        }
+        let alts = node
+            .path("alternatives")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| fail("node missing alternatives"));
+        check(!alts.is_empty(), "node has no alternatives");
+        let chosen: Vec<&Json> = alts
+            .iter()
+            .filter(|a| a.path("chosen").and_then(Json::as_bool) == Some(true))
+            .collect();
+        check(chosen.len() == 1, "node must have exactly one chosen alternative");
+        check(
+            chosen[0].path("est_cost").and_then(Json::as_f64).is_some(),
+            "chosen alternative must be priced",
+        );
+        for a in alts {
+            check(a.path("access").and_then(Json::as_str).is_some(), "alternative missing access");
+            check(a.path("reason").and_then(Json::as_str).is_some(), "alternative missing reason");
+        }
+    }
+    for key in ["est_cost", "est_rows", "order_via_index", "group_via_index"] {
+        check(doc.path(key).is_some(), &format!("plan missing {key}"));
+    }
+    println!(
+        "explain_smoke: explain JSON ok ({} nodes, {} alternatives)",
+        nodes.len(),
+        nodes
+            .iter()
+            .filter_map(|n| n.path("alternatives").and_then(Json::as_arr))
+            .map(<[Json]>::len)
+            .sum::<usize>()
+    );
+}
+
+/// One blocking HTTP GET against the introspection server.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .unwrap_or_else(|e| fail(&format!("write: {e}")));
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .unwrap_or_else(|e| fail(&format!("read: {e}")));
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) => (head.to_string(), body.to_string()),
+        None => fail(&format!("malformed HTTP response for {path}")),
+    }
+}
+
+/// Runs a real tuning pass with the ledger recording, then exercises the
+/// endpoint lifecycle.
+fn validate_endpoint() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer_id", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .expect("valid schema"),
+    )
+    .expect("fresh table");
+    let mut io = IoStats::new();
+    for i in 0..8000i64 {
+        db.table_mut("orders")
+            .expect("exists")
+            .insert(vec![Value::Int(i), Value::Int(i % 200)], &mut io)
+            .expect("unique");
+    }
+    db.analyze_all();
+
+    aim_telemetry::reset();
+    aim_telemetry::enable();
+    let engine = Engine::new();
+    let mut monitor = WorkloadMonitor::new();
+    let stmt = parse_statement("SELECT id FROM orders WHERE customer_id = 7").expect("valid");
+    for _ in 0..5 {
+        let out = engine.execute(&mut db, &stmt).expect("executes");
+        monitor.record(&stmt, &out);
+    }
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            ..Default::default()
+        })
+        .ledger(true)
+        .session();
+    let outcome = session.run(&mut db, &monitor).unwrap_or_else(|e| fail(&format!("tune: {e}")));
+    check(!outcome.created.is_empty(), "tuning pass should create an index");
+    aim_telemetry::publish_profile();
+    let ledger_handle = session.clone();
+    aim_telemetry::set_ledger_source(Box::new(move || ledger_handle.ledger_json()));
+
+    let server = aim_telemetry::IntrospectionServer::start(0)
+        .unwrap_or_else(|e| fail(&format!("server start: {e}")));
+    let addr = server.addr();
+
+    let (head, body) = http_get(addr, "/metrics");
+    check(head.contains("200 OK"), "/metrics must return 200");
+    check(head.contains("text/plain; version=0.0.4"), "/metrics content type");
+    check(body.contains("# TYPE aim_exec_whatif_calls counter"), "/metrics counter TYPE line");
+    check(
+        body.contains("quantile=\"0.5\"") && body.contains("quantile=\"0.99\""),
+        "/metrics must carry histogram quantile lines",
+    );
+
+    let (head, body) = http_get(addr, "/ledger");
+    check(head.contains("200 OK"), "/ledger must return 200");
+    let ledger = jsonv::parse(&body).unwrap_or_else(|e| fail(&format!("/ledger JSON: {e}")));
+    let records = ledger
+        .path("records")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("/ledger missing records"));
+    check(!records.is_empty(), "/ledger must explain the pass");
+    check(
+        records
+            .iter()
+            .any(|r| r.path("outcome").and_then(Json::as_str) == Some("materialized")),
+        "/ledger must show the materialized index",
+    );
+
+    let (head, body) = http_get(addr, "/profile");
+    check(head.contains("200 OK"), "/profile must return 200");
+    check(body.contains("aim.tune"), "/profile must show the pass span");
+
+    let (head, _) = http_get(addr, "/nope");
+    check(head.contains("404"), "unknown route must 404");
+
+    server.shutdown();
+    check(
+        TcpStream::connect(addr).is_err(),
+        "port must be released after shutdown",
+    );
+    aim_telemetry::clear_ledger_source();
+    aim_telemetry::disable();
+    println!("explain_smoke: endpoint ok on {addr} (metrics, ledger, profile, shutdown)");
+}
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+    if input.trim().is_empty() {
+        fail("no explain JSON on stdin (pipe `aim_cli explain --json ...` into this binary)");
+    }
+    validate_explain_json(input.trim());
+    validate_endpoint();
+    println!("explain_smoke: OK");
+}

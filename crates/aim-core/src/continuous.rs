@@ -211,6 +211,8 @@ impl ContinuousTuner {
                     ),
                 );
             }
+            let (query, baseline, current) =
+                (regression.query, regression.baseline, regression.current);
             for name in regression.suspect_indexes {
                 if !self.recently_created.contains(&name) {
                     continue;
@@ -225,6 +227,16 @@ impl ContinuousTuner {
                             aim_telemetry::EventKind::IndexReverted,
                             &def.name,
                             "regression implicated a recently-created index",
+                        );
+                        self.session.ledger_annotate(
+                            &def.name,
+                            &def.table,
+                            "reverted",
+                            format!(
+                                "query {query} regressed (avg cpu {baseline:.1} -> \
+                                 {current:.1}) and its plan used this \
+                                 recently-created index"
+                            ),
                         );
                         outcome.reverted.push(def.name);
                     }
@@ -268,6 +280,16 @@ impl ContinuousTuner {
                             aim_telemetry::EventKind::IndexDropped,
                             &name,
                             format!("unused for {} windows", self.unused_grace_windows),
+                        );
+                        self.session.ledger_annotate(
+                            &def.name,
+                            &def.table,
+                            "dropped_unused",
+                            format!(
+                                "no query used this index for {} consecutive \
+                                 observation windows",
+                                self.unused_grace_windows
+                            ),
                         );
                         outcome.dropped_unused.push(name.clone());
                     }
@@ -330,17 +352,18 @@ mod tests {
     }
 
     fn tuner() -> ContinuousTuner {
-        ContinuousTuner::new(
-            Aim::new(
-                AimConfig::builder()
-                    .selection(SelectionConfig {
-                        min_executions: 1,
-                        min_benefit: 0.0,
-                        max_queries: 50,
-                        include_dml: true,
-                    })
-                    .build(),
-            ),
+        // Ledger recording on: the continuous tests double as a check
+        // that recording never changes tuning behaviour.
+        ContinuousTuner::with_session(
+            AimConfig::builder()
+                .selection(SelectionConfig {
+                    min_executions: 1,
+                    min_benefit: 0.0,
+                    max_queries: 50,
+                    include_dml: true,
+                })
+                .ledger(true)
+                .session(),
             0.5,
         )
     }
@@ -457,6 +480,12 @@ mod tests {
             dropped.contains(&&created),
             "index {created} should be GC'd: {out2:?} {out3:?}"
         );
+        // The ledger closes the loop: the created index's record ends in
+        // the GC drop, with the full creation chain before it.
+        let ledger = tuner.session.ledger();
+        let rec = ledger.find(&created).expect("GC'd index has a ledger record");
+        assert_eq!(rec.outcome(), "dropped_unused");
+        assert!(rec.stages().contains(&"materialized"), "{:?}", rec.stages());
     }
 
     #[test]

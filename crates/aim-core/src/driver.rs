@@ -61,6 +61,12 @@ pub struct AimConfig {
     /// clock only, never results. [`ValidationConfig::workers`] overrides
     /// it for the validation phase when non-zero.
     pub workers: usize,
+    /// Record a [`crate::ledger::DecisionLedger`] entry for every
+    /// candidate's lifecycle (generation → ranking → knapsack →
+    /// validation → materialization, plus continuous-tuning reverts and
+    /// GC). Off by default: when false the pipeline performs one bool
+    /// check per phase and allocates nothing.
+    pub record_ledger: bool,
 }
 
 impl Default for AimConfig {
@@ -73,6 +79,7 @@ impl Default for AimConfig {
             skip_validation: false,
             sharding: None,
             workers: 0,
+            record_ledger: false,
         }
     }
 }
@@ -339,6 +346,59 @@ mod tests {
             "fleet-wide maintenance should sink the index: {:?}",
             outcome.created
         );
+    }
+
+    #[test]
+    fn ledger_records_full_lifecycle_when_enabled() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+        let session = AimConfig::builder()
+            .selection(quick_selection())
+            .ledger(true)
+            .session();
+        let outcome = session.run(&mut db, &monitor).unwrap();
+        assert!(!outcome.created.is_empty());
+
+        let ledger = session.ledger();
+        assert_eq!(ledger.passes, 1);
+        for c in &outcome.created {
+            let rec = ledger.find(&c.def.name).expect("created index has a record");
+            let stages = rec.stages();
+            for want in [
+                "generated",
+                "ranked",
+                "knapsack_accepted",
+                "validation_accepted",
+                "materialized",
+            ] {
+                assert!(stages.contains(&want), "missing {want} in {stages:?}");
+            }
+            assert!(!rec.sources.is_empty(), "generation provenance recorded");
+            assert_eq!(rec.size_bytes, Some(c.size_bytes));
+            assert_eq!(rec.outcome(), "materialized");
+        }
+
+        // A second pass over the same workload: the candidate now
+        // duplicates the existing index and the ledger says so.
+        session.run(&mut db, &monitor).unwrap();
+        let ledger = session.ledger();
+        assert_eq!(ledger.passes, 2);
+        assert!(ledger
+            .records()
+            .iter()
+            .any(|r| r.pass == 2 && r.outcome() == "already_served"));
+    }
+
+    #[test]
+    fn ledger_is_off_by_default() {
+        let mut db = db();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
+        let session = quick_session();
+        assert!(!session.run(&mut db, &monitor).unwrap().created.is_empty());
+        assert!(session.ledger().is_empty());
+        assert_eq!(session.ledger().passes, 0);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod candidates;
 pub mod continuous;
 pub mod driver;
 pub mod error;
+pub mod ledger;
 pub mod metadata;
 pub mod partial_order;
 pub mod ranking;
@@ -91,11 +92,12 @@ pub use continuous::{
 };
 pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
 pub use error::AimError;
+pub use ledger::{CandidateRecord, DecisionLedger, LedgerEvent};
 pub use metadata::{analyze_structure, FactorGroup, OpClass, QueryStructure, TableInfo};
 pub use partial_order::{merge_partial_orders, PartialOrder};
 pub use ranking::{
-    knapsack_select, rank_candidates, rank_candidates_with, try_rank_candidates_with,
-    RankedCandidate,
+    knapsack_select, knapsack_select_explained, rank_candidates, rank_candidates_with,
+    try_rank_candidates_with, KnapsackDecision, RankedCandidate,
 };
 pub use session::{AimConfigBuilder, CancelToken, RetryPolicy, RunCtl, TuningSession};
 pub use sharding::ShardingProfile;

@@ -410,6 +410,130 @@ fn is_prefix_of(narrow: &CandidateIndex, wide: &CandidateIndex) -> bool {
         && wide.columns[..narrow.columns.len()] == narrow.columns[..]
 }
 
+/// One knapsack verdict with its budget arithmetic — the decision-ledger
+/// view of [`knapsack_select`].
+#[derive(Debug, Clone)]
+pub struct KnapsackDecision {
+    /// Candidate index name.
+    pub name: String,
+    pub accepted: bool,
+    /// Budget bytes remaining before this candidate was considered.
+    pub remaining_before: u64,
+    /// Bytes freed by absorbing already-chosen prefix indexes (0 when no
+    /// absorption applies).
+    pub reclaimed: u64,
+    /// Budget bytes remaining after the decision (unchanged on reject).
+    pub remaining_after: u64,
+    /// Human-readable arithmetic behind the verdict.
+    pub reason: String,
+}
+
+/// [`knapsack_select`] plus a [`KnapsackDecision`] for *every* ranked
+/// candidate, in consideration order. The selection is bit-identical to
+/// [`knapsack_select`] (a test enforces this); the decisions exist for the
+/// decision ledger and cost one allocation per candidate, so the plain
+/// entry point remains the hot-path choice.
+pub fn knapsack_select_explained(
+    ranked: &[RankedCandidate],
+    budget_bytes: u64,
+    used_bytes: u64,
+) -> (Vec<RankedCandidate>, Vec<KnapsackDecision>) {
+    let mut remaining = budget_bytes.saturating_sub(used_bytes);
+    let mut chosen: Vec<RankedCandidate> = Vec::new();
+    let mut decisions: Vec<KnapsackDecision> = Vec::with_capacity(ranked.len());
+    for r in ranked {
+        let name = r.candidate.name();
+        let before = remaining;
+        if r.utility() <= 0.0 {
+            decisions.push(KnapsackDecision {
+                name,
+                accepted: false,
+                remaining_before: before,
+                reclaimed: 0,
+                remaining_after: before,
+                reason: format!(
+                    "net utility {:.1} <= 0 (benefit {:.1} - maintenance {:.1}): \
+                     not worth any budget",
+                    r.utility(),
+                    r.benefit,
+                    r.maintenance
+                ),
+            });
+            continue;
+        }
+        let prefix_of = chosen.iter().find(|c| {
+            c.candidate.table == r.candidate.table
+                && c.candidate.columns.len() >= r.candidate.columns.len()
+                && c.candidate.columns[..r.candidate.columns.len()] == r.candidate.columns[..]
+        });
+        if let Some(wide) = prefix_of {
+            decisions.push(KnapsackDecision {
+                name,
+                accepted: false,
+                remaining_before: before,
+                reclaimed: 0,
+                remaining_after: before,
+                reason: format!(
+                    "key columns are a prefix of already-chosen {}: adds no access path",
+                    wide.candidate.name()
+                ),
+            });
+            continue;
+        }
+        let reclaimable: u64 = chosen
+            .iter()
+            .filter(|c| is_prefix_of(&c.candidate, &r.candidate))
+            .map(|c| c.size_bytes)
+            .sum();
+        if r.size_bytes <= remaining + reclaimable {
+            let absorbed: Vec<String> = chosen
+                .iter()
+                .filter(|c| is_prefix_of(&c.candidate, &r.candidate))
+                .map(|c| c.candidate.name())
+                .collect();
+            chosen.retain(|c| !is_prefix_of(&c.candidate, &r.candidate));
+            remaining = remaining + reclaimable - r.size_bytes;
+            chosen.push(r.clone());
+            let absorbed_note = if absorbed.is_empty() {
+                String::new()
+            } else {
+                format!(", absorbing {} ({} bytes reclaimed)", absorbed.join(", "), reclaimable)
+            };
+            decisions.push(KnapsackDecision {
+                name,
+                accepted: true,
+                remaining_before: before,
+                reclaimed: reclaimable,
+                remaining_after: remaining,
+                reason: format!(
+                    "fits: {} bytes <= {} remaining{absorbed_note}; {} bytes left",
+                    r.size_bytes,
+                    before + reclaimable,
+                    remaining
+                ),
+            });
+        } else {
+            decisions.push(KnapsackDecision {
+                name,
+                accepted: false,
+                remaining_before: before,
+                reclaimed: reclaimable,
+                remaining_after: before,
+                reason: format!(
+                    "does not fit: needs {} bytes, only {} remaining (budget {}, \
+                     pre-used {}, reclaimable {})",
+                    r.size_bytes,
+                    before + reclaimable,
+                    budget_bytes,
+                    used_bytes,
+                    reclaimable
+                ),
+            });
+        }
+    }
+    (chosen, decisions)
+}
+
 /// Knapsack selection: greedily takes candidates in density order while the
 /// storage budget holds and net utility stays positive. `used_bytes` is
 /// storage already consumed by pre-existing indexes that count against the
@@ -641,6 +765,83 @@ mod tests {
         // The wide candidate must absorb its chosen prefix and fit.
         assert_eq!(chosen.len(), 1);
         assert_eq!(chosen[0].candidate.columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn knapsack_explained_matches_plain_and_explains_everything() {
+        let mut db = db();
+        let ranked = rank_for(
+            &mut db,
+            &[
+                ("SELECT id FROM t WHERE a = 5", 20),
+                ("SELECT id FROM t WHERE c = 7", 20),
+                ("SELECT id FROM t WHERE b = 2 AND c > 100", 20),
+                ("UPDATE t SET a = 3 WHERE id = 17", 40),
+            ],
+        );
+        assert!(!ranked.is_empty());
+        let all_sizes: u64 = ranked.iter().map(|r| r.size_bytes).sum();
+        for budget in [u64::MAX, all_sizes / 3, 1] {
+            let plain = knapsack_select(&ranked, budget, 0);
+            let (explained, decisions) = knapsack_select_explained(&ranked, budget, 0);
+            assert_bit_identical(&plain, &explained);
+            // Every ranked candidate gets a verdict, and verdicts agree
+            // with the selection.
+            assert_eq!(decisions.len(), ranked.len());
+            for d in &decisions {
+                let selected = explained.iter().any(|c| c.candidate.name() == d.name);
+                assert!(!d.reason.is_empty());
+                if d.accepted {
+                    // An accepted candidate is in the final selection
+                    // unless a later, wider accept absorbed it.
+                    let absorbed = decisions
+                        .iter()
+                        .any(|o| o.accepted && o.reason.contains(&d.name));
+                    assert!(selected || absorbed, "{}: {}", d.name, d.reason);
+                    let size = ranked
+                        .iter()
+                        .find(|c| c.candidate.name() == d.name)
+                        .unwrap()
+                        .size_bytes;
+                    assert_eq!(
+                        d.remaining_after,
+                        (d.remaining_before + d.reclaimed).saturating_sub(size),
+                        "budget math must balance: {}",
+                        d.reason
+                    );
+                } else {
+                    assert!(!selected, "{}: {}", d.name, d.reason);
+                    assert_eq!(d.remaining_after, d.remaining_before);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knapsack_explained_reports_absorption() {
+        use crate::candidates::CandidateIndex;
+        use crate::partial_order::PartialOrder;
+        use std::collections::BTreeSet;
+        let mk = |cols: Vec<&str>, benefit: f64, size: u64| RankedCandidate {
+            candidate: CandidateIndex {
+                table: "t".into(),
+                columns: cols.iter().map(|s| s.to_string()).collect(),
+                po: PartialOrder::chain(cols.iter().map(|s| s.to_string())).expect("valid"),
+                sources: BTreeSet::new(),
+            },
+            size_bytes: size,
+            benefit,
+            maintenance: 0.0,
+            benefiting_queries: Vec::new(),
+        };
+        let ranked = vec![mk(vec!["a"], 100.0, 100), mk(vec!["a", "b"], 150.0, 160)];
+        let (chosen, decisions) = knapsack_select_explained(&ranked, 200, 0);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions[0].accepted);
+        assert!(decisions[1].accepted);
+        assert_eq!(decisions[1].reclaimed, 100);
+        assert!(decisions[1].reason.contains("absorbing aim_t_a"), "{}", decisions[1].reason);
     }
 
     fn assert_bit_identical(a: &[RankedCandidate], b: &[RankedCandidate]) {

@@ -35,14 +35,17 @@
 use crate::candidates::try_generate_candidates;
 use crate::driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
 use crate::error::AimError;
-use crate::ranking::{knapsack_select, try_rank_candidates_with, RankedCandidate};
+use crate::ledger::DecisionLedger;
+use crate::ranking::{
+    knapsack_select, knapsack_select_explained, try_rank_candidates_with, RankedCandidate,
+};
 use crate::validate::{try_validate_on_clone, RejectReason, ValidationConfig};
 use aim_exec::ExecError;
 use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor};
 use aim_storage::{Database, IndexDef, IoStats};
 use aim_telemetry as tel;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Shareable cancellation handle. Cloning yields a handle to the *same*
@@ -218,6 +221,13 @@ impl AimConfigBuilder {
         self
     }
 
+    /// Record a per-candidate decision ledger (see
+    /// [`crate::ledger::DecisionLedger`]). Off by default.
+    pub fn ledger(mut self, record: bool) -> Self {
+        self.cfg.record_ledger = record;
+        self
+    }
+
     /// Finishes the configuration (for [`Aim::new`] or the advisor).
     pub fn build(self) -> AimConfig {
         self.cfg
@@ -230,6 +240,7 @@ impl AimConfigBuilder {
             deadline: self.deadline,
             retry: self.retry,
             cancel: CancelToken::new(),
+            ledger: Arc::new(Mutex::new(DecisionLedger::default())),
         }
     }
 }
@@ -244,6 +255,10 @@ pub struct TuningSession {
     deadline: Option<Duration>,
     retry: RetryPolicy,
     cancel: CancelToken,
+    /// Decision audit trail, shared across clones of this session (a
+    /// continuous tuner and an introspection endpoint see one ledger).
+    /// Only written when `AimConfig::record_ledger` is set.
+    ledger: Arc<Mutex<DecisionLedger>>,
 }
 
 impl TuningSession {
@@ -255,6 +270,7 @@ impl TuningSession {
             deadline: None,
             retry: RetryPolicy::default(),
             cancel: CancelToken::new(),
+            ledger: Arc::new(Mutex::new(DecisionLedger::default())),
         }
     }
 
@@ -283,6 +299,45 @@ impl TuningSession {
     /// Replaces the retry policy.
     pub fn set_retry(&mut self, retry: RetryPolicy) {
         self.retry = retry;
+    }
+
+    /// A snapshot of the decision ledger (empty unless the session was
+    /// built with [`AimConfigBuilder::ledger`]`(true)`).
+    pub fn ledger(&self) -> DecisionLedger {
+        self.lock_ledger().clone()
+    }
+
+    /// The ledger serialized as JSON — the `results/decision_ledger.json`
+    /// artifact and the `/ledger` introspection payload.
+    pub fn ledger_json(&self) -> String {
+        self.lock_ledger().to_json()
+    }
+
+    /// Discards all recorded ledger state.
+    pub fn clear_ledger(&self) {
+        self.lock_ledger().clear();
+    }
+
+    fn lock_ledger(&self) -> std::sync::MutexGuard<'_, DecisionLedger> {
+        self.ledger.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn recording(&self) -> bool {
+        self.aim.config.record_ledger
+    }
+
+    /// Applies `f` to the ledger iff recording is on — the single gate
+    /// that keeps the disarmed pipeline allocation-free.
+    fn with_ledger(&self, f: impl FnOnce(&mut DecisionLedger)) {
+        if self.recording() {
+            f(&mut self.lock_ledger());
+        }
+    }
+
+    /// Appends a post-pass event (revert, GC drop) to `name`'s most
+    /// recent ledger record. Used by the continuous tuner.
+    pub(crate) fn ledger_annotate(&self, name: &str, table: &str, stage: &str, detail: String) {
+        self.with_ledger(|l| l.annotate_latest(name, table, stage, detail));
     }
 
     /// Runs one resilient tuning pass against `db`, consuming the
@@ -317,6 +372,16 @@ impl TuningSession {
                 // before failing is dropped again, so an aborted pass never
                 // leaves a partial configuration.
                 let rolled_back = created_defs.len();
+                self.with_ledger(|l| {
+                    for def in created_defs.iter() {
+                        l.annotate_latest(
+                            &def.name,
+                            &def.table,
+                            "rolled_back",
+                            format!("pass aborted during {}: {e}", e.phase()),
+                        );
+                    }
+                });
                 for def in created_defs.drain(..) {
                     let _ = db.drop_index(&def.table, &def.name);
                 }
@@ -344,6 +409,11 @@ impl TuningSession {
         created_defs: &mut Vec<IndexDef>,
     ) -> Result<(), AimError> {
         let cfg = &self.aim.config;
+        let pass = if self.recording() {
+            self.lock_ledger().begin_pass()
+        } else {
+            0
+        };
 
         // 1. Representative workload selection.
         ctl.check("select_workload")?;
@@ -367,6 +437,17 @@ impl TuningSession {
             }
             try_generate_candidates(db, &workload, &cfg.candidate_gen, ctl)?
         };
+        self.with_ledger(|l| {
+            for c in &candidates {
+                let sources: Vec<String> = c.sources.iter().map(|f| f.to_string()).collect();
+                let detail = format!(
+                    "partial orders merged from {} quer{}",
+                    sources.len(),
+                    if sources.len() == 1 { "y" } else { "ies" }
+                );
+                l.observe(pass, &c.name(), &c.table, &c.columns, sources, detail);
+            }
+        });
         // Drop candidates that an existing index already serves: identical
         // column lists, and any candidate that is a key-prefix of an
         // existing index on the same table.
@@ -374,10 +455,27 @@ impl TuningSession {
             let Ok(table) = db.table(&c.table) else {
                 return false;
             };
-            !table.indexes().any(|ix| {
+            let serving = table.indexes().find(|ix| {
                 ix.def().columns.len() >= c.columns.len()
                     && ix.def().columns[..c.columns.len()] == c.columns[..]
-            })
+            });
+            match serving {
+                Some(ix) => {
+                    let served_by = ix.def().name.clone();
+                    self.with_ledger(|l| {
+                        l.note(
+                            pass,
+                            &c.name(),
+                            &c.table,
+                            &c.columns,
+                            "already_served",
+                            format!("existing index {served_by} covers this key prefix"),
+                        );
+                    });
+                    false
+                }
+                None => true,
+            }
         });
         outcome.candidates_generated = candidates.len();
 
@@ -408,12 +506,47 @@ impl TuningSession {
         if let Some(profile) = &cfg.sharding {
             profile.apply(&mut ranked);
         }
+        self.with_ledger(|l| {
+            for r in &ranked {
+                l.note_ranked(
+                    pass,
+                    &r.candidate.name(),
+                    &r.candidate.table,
+                    &r.candidate.columns,
+                    (r.benefit, r.maintenance, r.size_bytes),
+                );
+            }
+        });
         let shard_mult = cfg.sharding.as_ref().map_or(1, |p| p.shard_count);
         let used = db.total_secondary_index_bytes().saturating_mul(shard_mult);
         ctl.check("knapsack")?;
         let chosen = {
             let _s = tel::span("knapsack");
-            knapsack_select(&ranked, cfg.storage_budget, used)
+            if self.recording() {
+                let (chosen, decisions) =
+                    knapsack_select_explained(&ranked, cfg.storage_budget, used);
+                self.with_ledger(|l| {
+                    for (d, r) in decisions.iter().zip(&ranked) {
+                        debug_assert_eq!(d.name, r.candidate.name());
+                        let stage = if d.accepted {
+                            "knapsack_accepted"
+                        } else {
+                            "knapsack_rejected"
+                        };
+                        l.note(
+                            pass,
+                            &d.name,
+                            &r.candidate.table,
+                            &r.candidate.columns,
+                            stage,
+                            d.reason.clone(),
+                        );
+                    }
+                });
+                chosen
+            } else {
+                knapsack_select(&ranked, cfg.storage_budget, used)
+            }
         };
         if chosen.is_empty() {
             return Ok(());
@@ -424,6 +557,18 @@ impl TuningSession {
         //    additionally shrinks the sampled test bed — a smaller clone
         //    stresses the failing infrastructure less.
         let accepted: Vec<RankedCandidate> = if cfg.skip_validation {
+            self.with_ledger(|l| {
+                for r in &chosen {
+                    l.note(
+                        pass,
+                        &r.candidate.name(),
+                        &r.candidate.table,
+                        &r.candidate.columns,
+                        "validation_skipped",
+                        "skip_validation set: estimate-only mode".to_string(),
+                    );
+                }
+            });
             chosen
         } else {
             let _s = tel::span("validation");
@@ -454,8 +599,30 @@ impl TuningSession {
                 let reason = reject_text(&reason);
                 tel::metrics::INDEXES_REJECTED.incr();
                 tel::event(tel::EventKind::IndexRejected, r.candidate.name(), reason.clone());
+                self.with_ledger(|l| {
+                    l.note(
+                        pass,
+                        &r.candidate.name(),
+                        &r.candidate.table,
+                        &r.candidate.columns,
+                        "validation_rejected",
+                        reason.clone(),
+                    );
+                });
                 outcome.rejected.push((r.candidate.name(), reason));
             }
+            self.with_ledger(|l| {
+                for r in &result.accepted {
+                    l.note(
+                        pass,
+                        &r.candidate.name(),
+                        &r.candidate.table,
+                        &r.candidate.columns,
+                        "validation_accepted",
+                        "clone replay confirmed improvement with no regression".to_string(),
+                    );
+                }
+            });
             result.accepted
         };
 
@@ -487,6 +654,20 @@ impl TuningSession {
             match build {
                 Ok(()) => {
                     created_defs.push(def.clone());
+                    self.with_ledger(|l| {
+                        l.note(
+                            pass,
+                            &def.name,
+                            &def.table,
+                            &def.columns,
+                            "materialized",
+                            format!(
+                                "built on production: benefit {:.1}, maintenance {:.1}, \
+                                 {} bytes",
+                                r.benefit, r.maintenance, r.size_bytes
+                            ),
+                        );
+                    });
                     tel::metrics::INDEXES_CREATED.incr();
                     tel::event(
                         tel::EventKind::IndexAccepted,
@@ -507,6 +688,16 @@ impl TuningSession {
                 Err(e) => {
                     tel::metrics::INDEXES_REJECTED.incr();
                     tel::event(tel::EventKind::IndexRejected, &def.name, e.to_string());
+                    self.with_ledger(|l| {
+                        l.note(
+                            pass,
+                            &def.name,
+                            &def.table,
+                            &def.columns,
+                            "build_rejected",
+                            format!("index build failed deterministically: {e}"),
+                        );
+                    });
                     outcome.rejected.push((def.name, e.to_string()));
                 }
             }

@@ -46,6 +46,7 @@ pub mod cost;
 pub mod error;
 pub mod eval;
 pub mod executor;
+pub mod explain;
 pub mod hypothetical;
 pub mod planner;
 pub mod prepare;
@@ -56,6 +57,7 @@ pub use bind::{Binder, BoundColumn, BoundTable};
 pub use cost::{CostModel, OptimizerSwitches};
 pub use error::ExecError;
 pub use executor::{Engine, ExecOutcome};
+pub use explain::{explain_select, ExplainAlternative, ExplainNode, ExplainPlan};
 pub use hypothetical::{HypoConfig, HypotheticalIndex};
 pub use planner::{
     estimate_statement_cost, plan_select, AccessPath, EqSource, IndexChoice, IndexScan, Plan,

@@ -948,6 +948,197 @@ impl<'a> Planner<'a> {
         let next: BTreeSet<String> = ix.key_columns[start..end].iter().cloned().collect();
         next == group_cols
     }
+
+    // ------------------------------------------------------------- explain
+
+    /// Plans the SELECT and explains the winner in one call.
+    pub fn explain(&self) -> Result<crate::explain::ExplainPlan, ExecError> {
+        let plan = self.plan()?;
+        self.explain_plan(&plan)
+    }
+
+    /// Explains an already-computed plan of this query: for each join step,
+    /// re-enumerates every candidate access path with the same bound-table
+    /// context the join-order search used, and records each one's cost (or
+    /// why it was unusable) next to the chosen path.
+    ///
+    /// This is deliberately separate from [`Planner::plan`]: the advisory
+    /// hot path stays lean, and explanation pays the re-derivation cost
+    /// only on demand. Re-deriving is exact — the costing code is
+    /// deterministic, so alternatives are priced identically to the search.
+    pub fn explain_plan(&self, plan: &Plan) -> Result<crate::explain::ExplainPlan, ExecError> {
+        use crate::explain::{ExplainAlternative, ExplainNode, ExplainPlan};
+
+        let mut nodes = Vec::with_capacity(plan.steps.len());
+        let mut bound: Vec<usize> = Vec::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            let t = step.table_idx;
+            let outermost = bound.is_empty();
+            let binding = &self.binder.tables()[t];
+            let table = self.db.table(&binding.table)?;
+            let stats = self.db.stats(&binding.table);
+            let (eq_sources, ranges) = self.sources_for(t, &bound, table);
+
+            let mut alternatives = Vec::new();
+            let full_cost = self
+                .cm
+                .full_scan_cost(table.data_bytes(), table.row_count() as f64);
+            alternatives.push((
+                AccessPath::FullScan,
+                ExplainAlternative {
+                    access: "full scan".to_string(),
+                    index: None,
+                    hypothetical: false,
+                    eq_prefix: 0,
+                    range: false,
+                    covering: true,
+                    est_cost: Some(full_cost),
+                    chosen: false,
+                    reason: String::new(),
+                },
+            ));
+            for cand in self.candidate_indexes(t, table) {
+                let label = cand.choice.label();
+                let hypothetical = matches!(cand.choice, IndexChoice::Hypothetical(_));
+                match self.cost_index_candidate(
+                    t, table, stats, &cand, &eq_sources, &ranges, outermost,
+                ) {
+                    Some((scan, cost)) => {
+                        let mut traits = vec![format!("eq {}", scan.eq.len())];
+                        if scan.range.is_some() {
+                            traits.push("range".to_string());
+                        }
+                        if scan.covering {
+                            traits.push("covering".to_string());
+                        }
+                        alternatives.push((
+                            AccessPath::IndexScan(scan.clone()),
+                            ExplainAlternative {
+                                access: format!("index {label} ({})", traits.join(", ")),
+                                index: Some(label),
+                                hypothetical,
+                                eq_prefix: scan.eq.len(),
+                                range: scan.range.is_some(),
+                                covering: scan.covering,
+                                est_cost: Some(cost),
+                                chosen: false,
+                                reason: String::new(),
+                            },
+                        ));
+                    }
+                    None => {
+                        alternatives.push((
+                            AccessPath::FullScan, // placeholder, never matches
+                            ExplainAlternative {
+                                access: format!(
+                                    "index {label} ({})",
+                                    cand.columns.join(", ")
+                                ),
+                                index: Some(label),
+                                hypothetical,
+                                eq_prefix: 0,
+                                range: false,
+                                covering: false,
+                                est_cost: None,
+                                chosen: false,
+                                reason: "not usable: no predicate matches the key prefix"
+                                    .to_string(),
+                            },
+                        ));
+                    }
+                }
+            }
+            if outermost && self.binder.len() == 1 {
+                if let Some((path, cost)) = self.cost_or_union(t, table, stats) {
+                    let n = match &path {
+                        AccessPath::OrUnion(b) => b.len(),
+                        _ => 0,
+                    };
+                    alternatives.push((
+                        path,
+                        ExplainAlternative {
+                            access: format!("index-merge union over {n} OR branches"),
+                            index: None,
+                            hypothetical: false,
+                            eq_prefix: 0,
+                            range: false,
+                            covering: false,
+                            est_cost: Some(cost),
+                            chosen: false,
+                            reason: String::new(),
+                        },
+                    ));
+                }
+            }
+
+            // Mark the path the search actually chose. An unusable-index
+            // placeholder can never win: chosen full scans match the first
+            // entry (the true full-scan alternative) before placeholders.
+            let chosen_cost = step.cost_each;
+            match alternatives
+                .iter_mut()
+                .find(|(path, alt)| alt.est_cost.is_some() && *path == step.path)
+            {
+                Some((_, alt)) => {
+                    alt.chosen = true;
+                    alt.reason = "chosen".to_string();
+                }
+                None => {
+                    // Defensive: re-derivation should always reproduce the
+                    // search's pick; fall back to the cheapest usable path.
+                    if let Some((_, alt)) = alternatives
+                        .iter_mut()
+                        .filter(|(_, a)| a.est_cost.is_some())
+                        .min_by(|(_, a), (_, b)| {
+                            a.est_cost
+                                .partial_cmp(&b.est_cost)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                    {
+                        alt.chosen = true;
+                        alt.reason = "chosen".to_string();
+                    }
+                }
+            }
+            let mut alternatives: Vec<ExplainAlternative> =
+                alternatives.into_iter().map(|(_, alt)| alt).collect();
+            for alt in &mut alternatives {
+                if !alt.chosen {
+                    if let Some(cost) = alt.est_cost {
+                        alt.reason = format!("+{:.1} vs chosen", cost - chosen_cost);
+                    }
+                }
+            }
+            // Chosen first, usable alternatives by cost, unusable last.
+            alternatives.sort_by(|a, b| {
+                let key = |x: &ExplainAlternative| {
+                    (!x.chosen, x.est_cost.is_none(), x.est_cost.unwrap_or(0.0))
+                };
+                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            nodes.push(ExplainNode {
+                step: i,
+                binding: binding.binding.clone(),
+                table: binding.table.clone(),
+                est_rows: step.rows_each,
+                est_cost: step.cost_each,
+                alternatives,
+            });
+            bound.push(t);
+        }
+
+        Ok(ExplainPlan {
+            nodes,
+            est_cost: plan.est_cost,
+            est_rows: plan.result_rows,
+            join_rows: plan.join_rows,
+            order_via_index: plan.order_via_index,
+            group_via_index: plan.group_via_index,
+            hypotheticals: crate::explain::hypo_legend(self.config),
+            actual: None,
+        })
+    }
 }
 
 /// Collects the set of referenced column names per bound table.

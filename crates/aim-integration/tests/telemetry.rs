@@ -89,6 +89,15 @@ fn traced_tune() -> (ProfileNode, Vec<aim_telemetry::Event>) {
         outcome.rejected
     );
 
+    // The default journal capacity must hold a full pass's event stream:
+    // a dropped event here would mean the artifact silently lies.
+    assert_eq!(aim_telemetry::journal::dropped(), 0, "journal evicted events");
+    assert_eq!(
+        aim_telemetry::snapshot().counter("telemetry.journal_dropped"),
+        Some(0),
+        "journal_dropped counter must stay zero during a pass"
+    );
+
     let profile = aim_telemetry::take_profile();
     let events = handle.events();
     aim_telemetry::clear_sinks();

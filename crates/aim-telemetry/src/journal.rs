@@ -113,13 +113,19 @@ pub fn event(kind: EventKind, target: impl Into<String>, detail: impl Into<Strin
         target: target.into(),
         detail: detail.into(),
     };
-    with_journal(|j| {
+    let evicted = with_journal(|j| {
+        let mut evicted = 0u64;
         while j.ring.len() >= j.capacity {
             j.ring.pop_front();
             j.dropped += 1;
+            evicted += 1;
         }
         j.ring.push_back(e.clone());
+        evicted
     });
+    if evicted > 0 {
+        crate::metrics::JOURNAL_DROPPED.add(evicted);
+    }
     crate::sink::dispatch(&e);
 }
 
@@ -135,13 +141,19 @@ pub fn dropped() -> u64 {
 
 /// Changes the ring capacity (evicting immediately if shrinking).
 pub fn set_capacity(capacity: usize) {
-    with_journal(|j| {
+    let evicted = with_journal(|j| {
         j.capacity = capacity.max(1);
+        let mut evicted = 0u64;
         while j.ring.len() > j.capacity {
             j.ring.pop_front();
             j.dropped += 1;
+            evicted += 1;
         }
+        evicted
     });
+    if evicted > 0 {
+        crate::metrics::JOURNAL_DROPPED.add(evicted);
+    }
 }
 
 /// Clears the journal and its eviction count.
@@ -174,6 +186,13 @@ mod tests {
         assert_eq!(evs[0].target, "ix2");
         assert_eq!(evs[2].target, "ix4");
         assert_eq!(dropped(), 2);
+        // Evictions also surface on the journal_dropped counter so a
+        // snapshot (or /metrics scrape) shows the loss without polling
+        // `dropped()`.
+        assert_eq!(
+            crate::snapshot().counter("telemetry.journal_dropped"),
+            Some(2)
+        );
         assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
         set_capacity(DEFAULT_CAPACITY);
         crate::reset();

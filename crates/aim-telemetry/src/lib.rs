@@ -49,16 +49,24 @@
 //! ```
 
 pub mod journal;
+pub mod jsonv;
 pub mod metrics;
 pub mod report;
+pub mod serve;
 pub mod sink;
 pub mod span;
 
 pub use journal::{event, events, Event, EventKind};
 pub use metrics::{snapshot, Counter, HistogramSnapshot, Snapshot};
 pub use report::{render_counters, render_profile, write_artifact};
+pub use serve::{
+    clear_ledger_source, render_prometheus, set_ledger_source, IntrospectionServer,
+};
 pub use sink::{add_sink, clear_sinks, EventSink, JsonLinesSink, MemorySink};
-pub use span::{profile_snapshot, span, take_profile, ProfileNode, SpanGuard};
+pub use span::{
+    profile_snapshot, publish_profile, published_profile, span, take_profile, ProfileNode,
+    SpanGuard,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

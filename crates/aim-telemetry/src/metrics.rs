@@ -94,6 +94,10 @@ pub static DEGRADED_PASSES: Counter = Counter::new("aim.degraded_passes");
 /// Passes aborted (deadline, cancellation, or retries exhausted) and
 /// rolled back.
 pub static PASSES_ABORTED: Counter = Counter::new("aim.passes_aborted");
+/// Events evicted from the journal ring buffer before anyone read them.
+pub static JOURNAL_DROPPED: Counter = Counter::new("telemetry.journal_dropped");
+/// Event-sink write failures (the event is lost; each failure counts).
+pub static SINK_ERRORS: Counter = Counter::new("telemetry.sink_errors");
 
 static BUILTIN: &[&Counter] = &[
     &WHATIF_CALLS,
@@ -114,6 +118,8 @@ static BUILTIN: &[&Counter] = &[
     &TUNING_RETRIES,
     &DEGRADED_PASSES,
     &PASSES_ABORTED,
+    &JOURNAL_DROPPED,
+    &SINK_ERRORS,
 ];
 
 // ------------------------------------------------------------ registry
@@ -171,6 +177,44 @@ pub struct HistogramSnapshot {
     pub max: f64,
     /// `(inclusive upper bound, count)` for non-empty buckets.
     pub buckets: Vec<(f64, u64)>,
+    /// Median estimate interpolated from the log₂ buckets.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the log₂ bucket holding the target rank. The true value lies
+    /// somewhere in `(upper/2, upper]`, so the estimate is off by at most
+    /// one bucket width; the observed `min`/`max` clamp the extremes.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(upper, n) in &self.buckets {
+            let before = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                let lower = if upper <= 1.0 { 0.0 } else { upper / 2.0 };
+                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                let est = lower + frac * (upper - lower);
+                return est.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    fn fill_quantiles(mut self) -> Self {
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+        self
+    }
 }
 
 #[derive(Default)]
@@ -255,7 +299,11 @@ pub fn snapshot() -> Snapshot {
                     min: h.min,
                     max: h.max,
                     buckets,
-                },
+                    p50: 0.0,
+                    p90: 0.0,
+                    p99: 0.0,
+                }
+                .fill_quantiles(),
             ));
         }
     });
@@ -302,5 +350,30 @@ mod tests {
         crate::reset();
         assert_eq!(snapshot().counter("exec.whatif_calls"), Some(0));
         assert!(snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        // 100 observations spread over three decades.
+        for i in 1..=100 {
+            histogram_record("q.cost", i as f64);
+        }
+        crate::disable();
+
+        let s = snapshot();
+        let (_, h) = &s.histograms[0];
+        assert_eq!(h.count, 100);
+        // Quantiles are monotone, within [min, max], and roughly placed:
+        // the p50 of 1..=100 must land in the (32, 64] bucket.
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+        assert!(h.p50 >= h.min && h.p99 <= h.max);
+        assert!(h.p50 > 32.0 && h.p50 <= 64.0, "p50 = {}", h.p50);
+        assert!(h.p99 > 64.0 && h.p99 <= 100.0, "p99 = {}", h.p99);
+        // Degenerate histograms stay finite.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        crate::reset();
     }
 }

@@ -45,7 +45,7 @@ pub fn event_json(e: &Event) -> String {
     )
 }
 
-fn profile_json(node: &ProfileNode, out: &mut String) {
+pub(crate) fn profile_node_json(node: &ProfileNode, out: &mut String) {
     let _ = write!(
         out,
         "{{\"name\":\"{}\",\"count\":{},\"total_ms\":{:.3},\"children\":[",
@@ -57,7 +57,7 @@ fn profile_json(node: &ProfileNode, out: &mut String) {
         if i > 0 {
             out.push(',');
         }
-        profile_json(c, out);
+        profile_node_json(c, out);
     }
     out.push_str("]}");
 }
@@ -84,12 +84,16 @@ fn snapshot_json(s: &Snapshot, out: &mut String) {
         }
         let _ = write!(
             out,
-            "\"{}\":{{\"count\":{},\"sum\":{:.3},\"min\":{:.3},\"max\":{:.3},\"buckets\":[",
+            "\"{}\":{{\"count\":{},\"sum\":{:.3},\"min\":{:.3},\"max\":{:.3},\
+             \"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"buckets\":[",
             json_escape(name),
             h.count,
             h.sum,
             h.min,
-            h.max
+            h.max,
+            h.p50,
+            h.p90,
+            h.p99
         );
         for (j, (ub, c)) in h.buckets.iter().enumerate() {
             if j > 0 {
@@ -113,7 +117,7 @@ pub fn artifact_json(label: &str) -> String {
         if i > 0 {
             out.push(',');
         }
-        profile_json(c, &mut out);
+        profile_node_json(c, &mut out);
     }
     out.push_str("],\"events\":[");
     for (i, e) in crate::journal::events().iter().enumerate() {
@@ -199,9 +203,13 @@ pub fn render_counters(s: &Snapshot) -> String {
     for (name, h) in &s.histograms {
         let _ = writeln!(
             out,
-            "{name:<36} {:>14}  (histogram: mean {:.1}, min {:.1}, max {:.1})",
+            "{name:<36} {:>14}  (histogram: mean {:.1}, p50 {:.1}, p90 {:.1}, \
+             p99 {:.1}, min {:.1}, max {:.1})",
             h.count,
             if h.count > 0 { h.sum / h.count as f64 } else { 0.0 },
+            h.p50,
+            h.p90,
+            h.p99,
             h.min,
             h.max
         );

@@ -1,0 +1,338 @@
+//! Live introspection endpoint: a std-only HTTP server over the telemetry
+//! state, so a long-running continuous-tuning process can be watched from
+//! the outside while it runs.
+//!
+//! Security posture: **off by default** — nothing listens unless the host
+//! process calls [`IntrospectionServer::start`] — and the listener binds
+//! `127.0.0.1` only, so the endpoint is never reachable off-box. It serves
+//! read-only GETs, holds no state of its own, and supports exactly four
+//! routes:
+//!
+//! * `/metrics` — counters, gauges and histograms in Prometheus text
+//!   exposition format (histograms as summaries with `p50/p90/p99`
+//!   quantile lines),
+//! * `/journal` — the event ring buffer as a JSON array,
+//! * `/profile` — the published span tree (see
+//!   [`crate::publish_profile`]) as JSON,
+//! * `/ledger` — whatever JSON document the host registered via
+//!   [`set_ledger_source`] (404 until a session registers one).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type LedgerSource = Box<dyn Fn() -> String + Send + Sync>;
+
+static LEDGER_SOURCE: Mutex<Option<LedgerSource>> = Mutex::new(None);
+
+/// Registers the JSON provider behind `/ledger` (typically a closure over
+/// a tuning session's decision ledger). Replaces any previous source.
+pub fn set_ledger_source(source: impl Fn() -> String + Send + Sync + 'static) {
+    *LEDGER_SOURCE.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(source));
+}
+
+/// Unregisters the `/ledger` provider; the route 404s again.
+pub fn clear_ledger_source() {
+    *LEDGER_SOURCE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+fn ledger_json() -> Option<String> {
+    LEDGER_SOURCE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(|f| f())
+}
+
+/// A running introspection endpoint. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the listener thread.
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntrospectionServer {
+    /// Binds `127.0.0.1:port` (use port 0 for an ephemeral port) and
+    /// starts serving on a background thread.
+    pub fn start(port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("aim-introspection".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_thread.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection, served inline: the
+                        // endpoint is a debugging aid, not a web server.
+                        let _ = serve_one(stream);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    // Read until the end of the request head (or the timeout); only the
+    // request line matters — GETs carry no body we care about.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "read-only endpoint: use GET\n".to_string(),
+        )
+    } else {
+        match path {
+            "/" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "aim introspection endpoint\n\
+                 routes: /metrics /journal /profile /ledger\n"
+                    .to_string(),
+            ),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(&crate::metrics::snapshot()),
+            ),
+            "/journal" => ("200 OK", "application/json", journal_body()),
+            "/profile" => ("200 OK", "application/json", profile_body()),
+            "/ledger" => match ledger_json() {
+                Some(json) => ("200 OK", "application/json", json),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no ledger registered (see aim_telemetry::set_ledger_source)\n".to_string(),
+                ),
+            },
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown route (try /metrics, /journal, /profile, /ledger)\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn journal_body() -> String {
+    let mut out = String::from("{\"events\":[");
+    for (i, e) in crate::journal::events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::report::event_json(e));
+    }
+    out.push_str(&format!(
+        "],\"events_dropped\":{}}}",
+        crate::journal::dropped()
+    ));
+    out
+}
+
+fn profile_body() -> String {
+    let profile = crate::span::published_profile();
+    let mut out = String::from("{\"profile\":[");
+    for (i, c) in profile.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::report::profile_node_json(c, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Sanitizes an instrument name into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed with `aim_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("aim_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an f64 the Prometheus way (no exponent games needed for our
+/// magnitudes; NaN/inf never occur in snapshots).
+fn prom_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Renders a metrics snapshot in Prometheus text exposition format
+/// (version 0.0.4). Histograms are exposed as summaries with the
+/// `p50/p90/p99` quantile estimates from the log₂ buckets.
+pub fn render_prometheus(s: &crate::metrics::Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &s.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &s.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", prom_f64(v)));
+        }
+        out.push_str(&format!("{n}_sum {}\n", prom_f64(h.sum)));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("full response");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes_and_shuts_down() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        crate::metrics::WHATIF_CALLS.add(3);
+        crate::metrics::gauge_set("db.index_bytes", 512);
+        for v in [1.0, 8.0, 100.0] {
+            crate::metrics::histogram_record("exec.whatif_cost", v);
+        }
+        crate::journal::event(crate::EventKind::IndexAccepted, "aim_t_a", "why");
+        {
+            let _s = crate::span("pass");
+        }
+        crate::publish_profile();
+        crate::disable();
+
+        let server = IntrospectionServer::start(0).expect("bind loopback");
+        let addr = server.addr();
+        assert!(addr.ip().is_loopback(), "must only bind loopback");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("# TYPE aim_exec_whatif_calls counter"));
+        assert!(body.contains("aim_exec_whatif_calls 3"));
+        assert!(body.contains("# TYPE aim_db_index_bytes gauge"));
+        assert!(body.contains("# TYPE aim_exec_whatif_cost summary"));
+        assert!(body.contains("aim_exec_whatif_cost{quantile=\"0.5\"}"));
+        assert!(body.contains("aim_exec_whatif_cost{quantile=\"0.99\"}"));
+        assert!(body.contains("aim_exec_whatif_cost_count 3"));
+
+        let (head, body) = get(addr, "/journal");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = crate::jsonv::parse(&body).expect("journal is JSON");
+        assert_eq!(
+            parsed
+                .path("events")
+                .and_then(crate::jsonv::Json::as_arr)
+                .map(<[crate::jsonv::Json]>::len),
+            Some(1)
+        );
+
+        let (head, body) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(crate::jsonv::parse(&body).is_ok());
+        assert!(body.contains("\"pass\""));
+
+        let (head, _) = get(addr, "/ledger");
+        assert!(head.starts_with("HTTP/1.1 404"), "no ledger yet: {head}");
+        set_ledger_source(|| "{\"passes\":0}".to_string());
+        let (head, body) = get(addr, "/ledger");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(crate::jsonv::parse(&body).is_ok());
+        clear_ledger_source();
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        // The port is released: a fresh bind to the same port succeeds.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok(), "listener thread still holds the port");
+        crate::reset();
+    }
+}

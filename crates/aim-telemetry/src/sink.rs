@@ -100,32 +100,62 @@ impl MemorySinkHandle {
 }
 
 /// Streams each event as one JSON object per line.
+///
+/// Write failures do not panic (the advisor must outlive a full disk), but
+/// they are not silent either: every failed write increments the
+/// `telemetry.sink_errors` counter, and the first failure per sink prints a
+/// warning to stderr so the operator learns the artifact is incomplete.
 pub struct JsonLinesSink {
     writer: Box<dyn Write + Send>,
+    label: String,
+    warned: bool,
 }
 
 impl JsonLinesSink {
     /// Sink writing to (truncating) the given file.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
         let file = std::fs::File::create(path)?;
         Ok(Self {
             writer: Box::new(std::io::BufWriter::new(file)),
+            label: path.display().to_string(),
+            warned: false,
         })
     }
 
     /// Sink writing to an arbitrary writer (tests, stderr...).
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
-        Self { writer }
+        Self {
+            writer,
+            label: "<writer>".to_string(),
+            warned: false,
+        }
+    }
+
+    fn note_error(&mut self, op: &str, err: &std::io::Error) {
+        crate::metrics::SINK_ERRORS.incr();
+        if !self.warned {
+            self.warned = true;
+            eprintln!(
+                "aim-telemetry: event sink {} failed to {op}: {err} \
+                 (journal artifact will be incomplete; further errors suppressed)",
+                self.label
+            );
+        }
     }
 }
 
 impl EventSink for JsonLinesSink {
     fn emit(&mut self, event: &Event) {
-        let _ = writeln!(self.writer, "{}", crate::report::event_json(event));
+        if let Err(e) = writeln!(self.writer, "{}", crate::report::event_json(event)) {
+            self.note_error("write", &e);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            self.note_error("flush", &e);
+        }
     }
 }
 
@@ -179,6 +209,35 @@ mod tests {
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("\"plan_chosen\""));
         assert!(text.contains("t \\\"x\\\""));
+        crate::reset();
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        clear_sinks();
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        add_sink(Box::new(JsonLinesSink::new(Box::new(Broken))));
+        crate::enable();
+        event(EventKind::PlanChosen, "q1", "");
+        event(EventKind::PlanChosen, "q2", "");
+        crate::disable();
+        clear_sinks();
+        // Every lost event is counted, not just the first (which also
+        // prints a one-time stderr warning).
+        assert_eq!(
+            crate::snapshot().counter("telemetry.sink_errors"),
+            Some(2)
+        );
         crate::reset();
     }
 }

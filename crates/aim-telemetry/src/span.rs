@@ -165,13 +165,45 @@ pub fn profile_snapshot() -> ProfileNode {
     })
 }
 
-/// Clears this thread's span state (open frames and finished roots).
+// The span tree is thread-local, so the introspection server (which runs on
+// its own thread) cannot see it directly. Threads that want their profile
+// visible on `/profile` publish it into this process-wide slot; repeated
+// publishes merge by span name, like siblings within a tree.
+static PUBLISHED: std::sync::Mutex<Vec<ProfileNode>> = std::sync::Mutex::new(Vec::new());
+
+/// Drains this thread's finished span tree and merges it into the
+/// process-wide published profile (served by the introspection endpoint's
+/// `/profile`). Draining (rather than copying) keeps repeated publishes
+/// from double counting: each finished root lands in the published tree
+/// exactly once.
+pub fn publish_profile() {
+    let snapshot = take_profile();
+    let mut published = PUBLISHED.lock().unwrap_or_else(|e| e.into_inner());
+    for root in snapshot.children {
+        merge_node(&mut published, root);
+    }
+}
+
+/// The most recently published profile (synthetic root, one child per root
+/// span name), or an empty tree when nothing was published.
+pub fn published_profile() -> ProfileNode {
+    ProfileNode {
+        name: String::new(),
+        count: 0,
+        total: Duration::ZERO,
+        children: PUBLISHED.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+    }
+}
+
+/// Clears this thread's span state (open frames and finished roots) and the
+/// process-wide published profile.
 pub fn reset() {
     STATE.with(|s| {
         let mut s = s.borrow_mut();
         s.stack.clear();
         s.finished.clear();
     });
+    PUBLISHED.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
@@ -217,6 +249,30 @@ mod tests {
         let p = take_profile();
         assert_eq!(p.children.len(), 1);
         assert_eq!(p.children[0].count, 4);
+    }
+
+    #[test]
+    fn publish_merges_without_double_counting() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _s = span("pass");
+        }
+        publish_profile();
+        {
+            let _s = span("pass");
+        }
+        publish_profile();
+        // Publishing with nothing new finished is a no-op.
+        publish_profile();
+        crate::disable();
+        let p = published_profile();
+        assert_eq!(p.children.len(), 1);
+        assert_eq!(p.children[0].name, "pass");
+        assert_eq!(p.children[0].count, 2);
+        crate::reset();
+        assert!(published_profile().children.is_empty());
     }
 
     #[test]

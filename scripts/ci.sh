@@ -22,4 +22,12 @@ echo "== chaos smoke (fault-injection resilience gate)"
 # a consistency violation, a leaked partial pass, or disarmed-run divergence.
 ./target/release/chaos_smoke
 
+echo "== explain smoke (explainability & introspection gate)"
+# Validates the ExplainPlan JSON contract from a live `aim_cli explain` run,
+# then exercises the introspection endpoint lifecycle (/metrics quantiles,
+# /ledger chain, /profile, 404, shutdown port release).
+./target/release/aim_cli explain --json demo \
+    "SELECT id FROM orders WHERE customer_id = 7" \
+    | ./target/release/explain_smoke
+
 echo "== ci: all checks passed"
