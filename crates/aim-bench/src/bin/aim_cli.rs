@@ -13,6 +13,14 @@
 //!
 //! Non-interactive modes:
 //!
+//! The shell runs in-memory by default; `--backend disk:PATH` opens (or
+//! creates) a durable pager-backed database instead — data survives
+//! restarts, and `\storage` shows buffer-pool/WAL counters:
+//!
+//! ```sh
+//! cargo run -p aim-bench --bin aim_cli --release -- --backend disk:/tmp/aim_db
+//! ```
+//!
 //! ```sh
 //! # one tuning pass with telemetry; prints span tree + counters
 //! cargo run -p aim-bench --bin aim_cli --release -- --profile tpch
@@ -28,7 +36,7 @@
 //!     continuous tpch --windows 3 --serve 7800
 //! ```
 
-use aim_core::{AimConfig, TuningSession};
+use aim_core::{AimConfig, BackendSpec, TuningSession};
 use aim_exec::{Engine, HypoConfig};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -53,7 +61,14 @@ fn main() {
         }
         _ => {}
     }
-    let mut db = Database::new();
+    let mut backend = BackendSpec::Memory;
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+        backend = BackendSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
     let engine = Engine::new();
     let mut monitor = WorkloadMonitor::new();
     let session = AimConfig::builder()
@@ -62,9 +77,17 @@ fn main() {
             min_benefit: 0.5,
             ..Default::default()
         })
+        .backend(backend)
         .session();
+    let mut db = session.provision_database().unwrap_or_else(|e| {
+        eprintln!("failed to open database: {e}");
+        std::process::exit(1);
+    });
 
-    println!("AIM shell — type SQL, or \\help for commands.");
+    println!(
+        "AIM shell ({} backend) — type SQL, or \\help for commands.",
+        session.config().backend
+    );
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -110,6 +133,8 @@ fn run_command(
             println!("  \\tune           run one AIM tuning pass on the observed workload");
             println!("  \\workload       show per-query statistics of the current window");
             println!("  \\indexes        list secondary indexes");
+            println!("  \\storage        backend kind + buffer-pool/WAL counters");
+            println!("  \\checkpoint     flush dirty pages and truncate the WAL");
             println!("  \\reset          start a new observation window");
             println!("  \\demo           load a small demo database + workload");
             println!("  \\quit           exit");
@@ -167,6 +192,23 @@ fn run_command(
                 db.total_secondary_index_bytes()
             );
         }
+        "storage" => {
+            let c = db.storage_counters();
+            println!("  backend: {:?}", db.backend_kind());
+            println!(
+                "  buffer pool: {} hits, {} misses, {} evictions",
+                c.bp_hits, c.bp_misses, c.bp_evictions
+            );
+            println!(
+                "  pager: {} pages read, {} written, {} checkpoints",
+                c.pages_read, c.pages_written, c.checkpoints
+            );
+            println!("  wal: {} bytes, {} fsyncs", c.wal_bytes, c.wal_fsyncs);
+        }
+        "checkpoint" => match db.checkpoint() {
+            Ok(()) => println!("  checkpoint complete"),
+            Err(e) => println!("  checkpoint failed: {e}"),
+        },
         "reset" => {
             monitor.reset();
             println!("  new observation window");

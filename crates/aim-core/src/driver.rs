@@ -21,6 +21,7 @@
 //! ([`AimOutcome`]) and the legacy [`Aim`] handle whose deprecated
 //! [`Aim::tune`] forwards to a default session.
 
+use crate::backend::BackendSpec;
 use crate::candidates::CandidateGenConfig;
 use crate::session::{AimConfigBuilder, TuningSession};
 use crate::sharding::ShardingProfile;
@@ -67,6 +68,10 @@ pub struct AimConfig {
     /// GC). Off by default: when false the pipeline performs one bool
     /// check per phase and allocates nothing.
     pub record_ledger: bool,
+    /// Storage backend the production database is provisioned on (see
+    /// [`TuningSession::provision_database`]). The advisor pipeline itself
+    /// is backend-agnostic: validation clones are always in-memory.
+    pub backend: BackendSpec,
 }
 
 impl Default for AimConfig {
@@ -80,6 +85,7 @@ impl Default for AimConfig {
             sharding: None,
             workers: 0,
             record_ledger: false,
+            backend: BackendSpec::Memory,
         }
     }
 }

@@ -67,6 +67,7 @@
 //! ```
 
 pub mod advisor;
+pub mod backend;
 pub mod candidates;
 pub mod continuous;
 pub mod driver;
@@ -90,6 +91,7 @@ pub use continuous::{
     find_prefix_redundant_indexes, find_unused_indexes, ContinuousOutcome, ContinuousTuner,
     RegressionDetector, AIM_INDEX_PREFIX,
 };
+pub use backend::BackendSpec;
 pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
 pub use error::AimError;
 pub use ledger::{CandidateRecord, DecisionLedger, LedgerEvent};

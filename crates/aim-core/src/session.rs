@@ -228,6 +228,14 @@ impl AimConfigBuilder {
         self
     }
 
+    /// Storage backend the production database is provisioned on
+    /// ([`BackendSpec::Memory`] by default). See
+    /// [`TuningSession::provision_database`].
+    pub fn backend(mut self, backend: crate::backend::BackendSpec) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Finishes the configuration (for [`Aim::new`] or the advisor).
     pub fn build(self) -> AimConfig {
         self.cfg
@@ -277,6 +285,17 @@ impl TuningSession {
     /// The pass configuration.
     pub fn config(&self) -> &AimConfig {
         &self.aim.config
+    }
+
+    /// Provisions the production database on the configured
+    /// [`BackendSpec`](crate::backend::BackendSpec): a fresh in-memory
+    /// instance, or a recovered disk-backed one (WAL replay, working-set
+    /// load, re-ANALYZE). Injected storage faults surface as the
+    /// retryable [`AimError::Fault`].
+    pub fn provision_database(&self) -> Result<Database, AimError> {
+        self.aim.config.backend.provision().map_err(|e| {
+            AimError::from_exec("provision", ExecError::Storage(e))
+        })
     }
 
     /// The execution engine used for validation replay.

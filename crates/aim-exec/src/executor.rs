@@ -749,7 +749,7 @@ impl Engine {
             self.locate_rows(db, &del.table, del.where_clause.as_ref())?;
         let mut affected = 0u64;
         for pk in pks {
-            if db.table_mut(&del.table)?.delete(&pk, &mut io).is_some() {
+            if db.table_mut(&del.table)?.delete(&pk, &mut io)?.is_some() {
                 affected += 1;
             }
         }

@@ -48,6 +48,7 @@ pub mod eval;
 pub mod executor;
 pub mod explain;
 pub mod hypothetical;
+pub mod iocheck;
 pub mod planner;
 pub mod prepare;
 pub mod predicate;
@@ -59,6 +60,7 @@ pub use error::ExecError;
 pub use executor::{Engine, ExecOutcome};
 pub use explain::{explain_select, ExplainAlternative, ExplainNode, ExplainPlan};
 pub use hypothetical::{HypoConfig, HypotheticalIndex};
+pub use iocheck::IoAccuracy;
 pub use planner::{
     estimate_statement_cost, plan_select, AccessPath, EqSource, IndexChoice, IndexScan, Plan,
     Planner, TableStep,

@@ -426,3 +426,182 @@ fn corrupted_statistics_do_not_break_consistency() {
     let rows = db.table("orders").unwrap().row_count();
     assert_eq!(db.stats("orders").unwrap().row_count as usize, rows);
 }
+
+// ------------------------------------------------- storage-engine chaos
+
+/// Fresh per-test directory for a disk-backed database.
+fn disk_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aim-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn disk_db(dir: &std::path::Path, rows: i64) -> Database {
+    let mut db = aim_core::BackendSpec::disk(dir).provision().unwrap();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut io = IoStats::new();
+    for i in 0..rows {
+        db.table_mut("orders")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 300), Value::Int(i % 12)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    db.analyze_all();
+    db
+}
+
+/// Identical committed histories must converge to bit-identical data
+/// files whether or not a crash interrupted them: one instance runs
+/// clean, the other is killed mid-stream (buffered pages dropped, WAL
+/// intact) and recovers on reopen. After a checkpoint both `aim.db`
+/// files must match byte for byte — redo is a pure function of the log.
+#[test]
+fn crash_recovery_replays_wal_to_bit_identical_data_file() {
+    let _g = FaultGuard::acquire();
+    let dirs = [disk_dir("replay-clean"), disk_dir("replay-crash")];
+    let mutate = |db: &mut Database, lo: i64, hi: i64| {
+        let mut io = IoStats::new();
+        for i in lo..hi {
+            db.table_mut("orders")
+                .unwrap()
+                .update(
+                    &vec![Value::Int(i)],
+                    vec![Value::Int(i), Value::Int(i % 7), Value::Int(-1)],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        db.table_mut("orders")
+            .unwrap()
+            .delete(&vec![Value::Int(hi)], &mut io)
+            .unwrap();
+    };
+    for (n, dir) in dirs.iter().enumerate() {
+        let crash = n == 1;
+        let db = {
+            let mut db = disk_db(dir, 800);
+            mutate(&mut db, 0, 120);
+            if crash {
+                db.simulate_crash();
+                drop(db);
+                aim_core::BackendSpec::disk(dir).provision().unwrap()
+            } else {
+                db
+            }
+        };
+        assert_eq!(db.table("orders").unwrap().row_count(), 799);
+        db.checkpoint().unwrap();
+        db.simulate_crash(); // prevent Drop-time churn after the checkpoint
+    }
+    let clean = std::fs::read(dirs[0].join("aim.db")).unwrap();
+    let crashed = std::fs::read(dirs[1].join("aim.db")).unwrap();
+    assert_eq!(
+        clean, crashed,
+        "recovered data file diverges from the crash-free run"
+    );
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// An fsync failure in the WAL surfaces through the whole advisor stack
+/// as the retryable [`AimError::Fault`] — and a session with retry
+/// budget absorbs it and completes the pass.
+#[test]
+fn wal_fsync_fault_is_retryable_through_tuning_session() {
+    let _g = FaultGuard::acquire();
+    let dir = disk_dir("fsync");
+    let mut db = disk_db(&dir, 3_000);
+    let mut monitor = WorkloadMonitor::new();
+    observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 10);
+    let before = db.all_indexes().len();
+
+    // Permanent fsync failure: no retry budget can absorb it.
+    fault::arm(FaultPlan::new(21).fail("storage.wal.fsync", 0, u64::MAX));
+    let err = AimConfig::builder()
+        .selection(selection())
+        .retry(RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::ZERO,
+        })
+        .session()
+        .run(&mut db, &monitor)
+        .expect_err("persistent fsync failure must abort the pass");
+    fault::disarm();
+    assert!(err.is_retryable(), "fsync fault must classify as transient: {err}");
+    assert_eq!(db.all_indexes().len(), before, "aborted pass must roll back");
+    db.check_consistency().unwrap();
+
+    // One-shot fsync failure: the session's retry ladder absorbs it.
+    fault::arm(FaultPlan::new(21).fail("storage.wal.fsync", 0, 1));
+    let outcome = session().run(&mut db, &monitor).unwrap();
+    fault::disarm();
+    assert!(!outcome.created.is_empty(), "rejected: {:?}", outcome.rejected);
+    db.check_consistency().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn page write (power loss mid-write: only half the page reaches
+/// the platter) fires on the physical write path — checkpoint — and
+/// classifies as the same retryable fault class. The half-written page
+/// is harmless: the WAL still holds the full image, so a crash-reopen
+/// recovers every committed row with checksums intact, and a retried
+/// checkpoint succeeds.
+#[test]
+fn torn_page_write_fault_is_retryable_and_recoverable() {
+    let _g = FaultGuard::acquire();
+    let dir = disk_dir("torn");
+    let mut db = disk_db(&dir, 3_000);
+
+    fault::arm(FaultPlan::new(33).fail("storage.pager.write", 0, u64::MAX));
+    let err = db.checkpoint().expect_err("torn write must fail the checkpoint");
+    fault::disarm();
+    assert!(err.is_injected(), "{err}");
+    let classified = AimError::from_exec("checkpoint", aim_exec::ExecError::Storage(err));
+    assert!(
+        classified.is_retryable(),
+        "torn write must classify as transient: {classified}"
+    );
+
+    // Retry with the fault gone: the redirtied pages flush cleanly.
+    db.checkpoint().unwrap();
+
+    // And the crash path: commit fresh changes (WAL-protected), then tear
+    // a page while flushing them. On reopen the half-written page is
+    // re-imaged from the log — no committed row or checksum may be lost.
+    let mut io = IoStats::new();
+    for i in 0..50 {
+        db.table_mut("orders")
+            .unwrap()
+            .update(
+                &vec![Value::Int(i)],
+                vec![Value::Int(i), Value::Int(-5), Value::Int(-5)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    fault::arm(FaultPlan::new(33).fail("storage.pager.write", 0, 1));
+    let _ = db.checkpoint(); // tears one page, redirties, fails
+    fault::disarm();
+    db.simulate_crash();
+    drop(db);
+    let db = aim_core::BackendSpec::disk(&dir).provision().unwrap();
+    assert_eq!(db.table("orders").unwrap().row_count(), 3_000);
+    db.check_consistency().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

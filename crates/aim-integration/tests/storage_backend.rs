@@ -1,0 +1,232 @@
+//! Disk-backend integration: the full advisor stack running on the paged
+//! storage engine, and the durability contract across kills and reopens.
+
+use aim_core::{AimConfig, BackendSpec};
+use aim_exec::Engine;
+use aim_monitor::{SelectionConfig, WorkloadMonitor};
+use aim_sql::parse_statement;
+use aim_storage::{
+    BackendKind, ColumnDef, ColumnType, Database, IoStats, TableSchema, Value,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aim-backend-it-{}-{}-{name}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn populate(db: &mut Database, rows: i64) {
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer", ColumnType::Int),
+                ColumnDef::new("region", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut io = IoStats::new();
+    for i in 0..rows {
+        db.table_mut("orders")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 150), Value::Int(i % 7)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    db.analyze_all();
+}
+
+fn observe(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).unwrap();
+    for _ in 0..n {
+        let out = engine.execute(db, &stmt).unwrap();
+        monitor.record(&stmt, &out);
+    }
+}
+
+fn quick_session() -> aim_core::TuningSession {
+    AimConfig::builder()
+        .selection(SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            ..Default::default()
+        })
+        .session()
+}
+
+/// Acceptance criterion: a full tuning pass runs green on the disk
+/// backend, the created indexes survive a process restart, and queries
+/// actually get faster.
+#[test]
+fn full_tuning_pass_on_disk_backend_survives_reopen() {
+    let dir = temp_dir("tuning");
+    let spec = BackendSpec::disk(&dir);
+    let sql = "SELECT id FROM orders WHERE customer = 42";
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).unwrap();
+
+    let (created, before_rows_read) = {
+        let mut db = spec.provision().unwrap();
+        assert_eq!(db.backend_kind(), BackendKind::Disk);
+        populate(&mut db, 6_000);
+        let before = engine.execute(&mut db, &stmt).unwrap();
+        let mut monitor = WorkloadMonitor::new();
+        observe(&mut db, &mut monitor, sql, 20);
+        let outcome = quick_session().run(&mut db, &monitor).unwrap();
+        assert!(!outcome.created.is_empty(), "rejected: {:?}", outcome.rejected);
+        db.check_consistency().unwrap();
+        (outcome.created.len(), before.io.rows_read)
+    }; // drop checkpoints and closes the files
+
+    let mut db = spec.provision().unwrap();
+    assert_eq!(db.table("orders").unwrap().row_count(), 6_000);
+    assert_eq!(db.all_indexes().len(), created, "indexes must survive reopen");
+    db.check_consistency().unwrap();
+    let after = engine.execute(&mut db, &stmt).unwrap();
+    assert!(
+        after.io.rows_read < before_rows_read / 10,
+        "reopened index unused: {} rows read before, {} after",
+        before_rows_read,
+        after.io.rows_read
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance criterion: kill-and-reopen restores exactly the committed
+/// state. The kill drops every buffered page without flushing, so reopen
+/// runs pure WAL redo; page checksums are verified on every read along
+/// the way.
+#[test]
+fn kill_and_reopen_recovers_committed_state() {
+    let dir = temp_dir("kill");
+    let spec = BackendSpec::disk(&dir);
+    let expected: Vec<Vec<Value>> = {
+        let mut db = spec.provision().unwrap();
+        populate(&mut db, 1_500);
+        let mut io = IoStats::new();
+        // Post-populate mutations that only the WAL has seen.
+        for i in 0..200 {
+            db.table_mut("orders")
+                .unwrap()
+                .update(
+                    &vec![Value::Int(i)],
+                    vec![Value::Int(i), Value::Int(-1), Value::Int(-1)],
+                    &mut io,
+                )
+                .unwrap();
+        }
+        for i in 1_400..1_500 {
+            db.table_mut("orders")
+                .unwrap()
+                .delete(&vec![Value::Int(i)], &mut io)
+                .unwrap();
+        }
+        let mut scan_io = IoStats::new();
+        let committed: Vec<Vec<Value>> = db
+            .table("orders")
+            .unwrap()
+            .scan_all(&mut scan_io)
+            .cloned()
+            .collect();
+        db.simulate_crash(); // kill: no checkpoint, no flush
+        committed
+    };
+    let db = spec.provision().unwrap();
+    let mut scan_io = IoStats::new();
+    let recovered: Vec<Vec<Value>> = db
+        .table("orders")
+        .unwrap()
+        .scan_all(&mut scan_io)
+        .cloned()
+        .collect();
+    assert_eq!(recovered, expected, "recovery must replay every committed batch");
+    let counters = db.storage_counters();
+    assert!(counters.recovered_batches > 0, "reopen must have replayed the WAL");
+    assert_eq!(counters.checksum_failures, 0, "no page may fail its checksum");
+    db.check_consistency().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// MyShadow contract on disk: validation clones of a disk-backed database
+/// are in-memory — experimentation never touches the production files.
+#[test]
+fn clones_of_disk_database_are_memory_backed() {
+    let dir = temp_dir("clone");
+    let spec = BackendSpec::disk(&dir);
+    let mut db = spec.provision().unwrap();
+    populate(&mut db, 500);
+    let wal_before = db.storage_counters().wal_bytes;
+
+    let mut clone = db.try_clone().unwrap();
+    assert_eq!(clone.backend_kind(), BackendKind::Memory);
+    let mut io = IoStats::new();
+    for i in 10_000..10_200 {
+        clone
+            .table_mut("orders")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(0), Value::Int(0)],
+                &mut io,
+            )
+            .unwrap();
+    }
+    clone
+        .create_index(
+            aim_storage::IndexDef::new("ix_probe", "orders", vec!["customer".into()]),
+            &mut io,
+        )
+        .unwrap();
+    assert_eq!(
+        db.storage_counters().wal_bytes,
+        wal_before,
+        "clone writes must not reach the production WAL"
+    );
+    drop(db);
+
+    // Production reopens without any trace of the clone's experiments.
+    let db = spec.provision().unwrap();
+    assert_eq!(db.table("orders").unwrap().row_count(), 500);
+    assert!(db.all_indexes().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Measured accounting: on disk, query costs come from real page walks,
+/// and the buffer pool's counters move with the traffic.
+#[test]
+fn disk_queries_charge_real_pages_and_update_pool_counters() {
+    let dir = temp_dir("pages");
+    let spec = BackendSpec::disk(&dir);
+    let mut db = spec.provision().unwrap();
+    populate(&mut db, 3_000);
+    let before = db.storage_counters();
+
+    let engine = Engine::new();
+    let stmt = parse_statement("SELECT id FROM orders WHERE id >= 100 AND id < 600").unwrap();
+    let out = engine.execute(&mut db, &stmt).unwrap();
+    assert_eq!(out.rows.len(), 500);
+    assert!(out.io.pages_read > 0, "range scan must charge real pages");
+
+    let after = db.storage_counters();
+    // The working set fits in the pool after populate, so the walk is
+    // served by hits — what must move is pool traffic, not disk reads.
+    assert!(
+        after.bp_hits + after.bp_misses > before.bp_hits + before.bp_misses,
+        "buffer pool saw no traffic"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

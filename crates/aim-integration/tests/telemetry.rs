@@ -188,3 +188,68 @@ fn event_sequence_is_deterministic_and_well_formed() {
     assert!(accepted[0].target.starts_with("aim_"));
     assert_eq!(first.last().unwrap().kind, EventKind::TuningPass);
 }
+
+/// The storage engine's buffer-pool and WAL counters flow into the
+/// telemetry registry, appear in the `/metrics` (Prometheus) rendering
+/// and in the profile report's counter table.
+#[test]
+fn storage_counters_surface_in_metrics_and_profile_report() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    aim_telemetry::reset();
+    aim_telemetry::enable();
+
+    let dir = std::env::temp_dir().join(format!(
+        "aim-telemetry-storage-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = aim_core::BackendSpec::disk(&dir).provision().unwrap();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("v", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut io = IoStats::new();
+        for i in 0..2_000 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Int(i % 5)], &mut io)
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        db.simulate_crash(); // skip Drop-time flushing; counters are pushed
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let snap = aim_telemetry::snapshot();
+    let get = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(get("storage.bp.hit") > 0, "buffer-pool hits not exported");
+    assert!(get("storage.wal.bytes") > 0, "WAL byte counter not exported");
+    assert!(get("storage.wal.fsyncs") > 0, "WAL fsync counter not exported");
+    assert!(
+        snap.counter("storage.bp.miss").is_some(),
+        "miss counter must exist even when zero"
+    );
+
+    let prometheus = aim_telemetry::render_prometheus(&snap);
+    for name in ["storage_bp_hit", "storage_wal_bytes", "storage_wal_fsyncs"] {
+        assert!(
+            prometheus.contains(name),
+            "/metrics rendering lacks {name}:\n{prometheus}"
+        );
+    }
+    let report = aim_telemetry::render_counters(&snap);
+    assert!(
+        report.contains("storage.wal.bytes"),
+        "profile counter table lacks storage.wal.bytes:\n{report}"
+    );
+    aim_telemetry::disable();
+}

@@ -1,0 +1,792 @@
+//! Paged B+-tree over the [`Pager`].
+//!
+//! Keys are [`codec`]-encoded [`Key`] tuples; because the encoding is not
+//! order-preserving, every comparison decodes back to values and uses the
+//! engine's total [`Value`](crate::value::Value) order — disk and memory
+//! collate identically by construction. Leaves hold `(key, value)` cells in
+//! slot order and are chained left-to-right for range scans; internal nodes
+//! hold `(separator, child)` cells where `separator` is the *maximum* key
+//! reachable through `child`, plus a rightmost child in the page's aux
+//! pointer.
+//!
+//! Nodes are rewritten wholesale on modification (gather cells → mutate →
+//! [`Page::set_cells`]), which keeps split/merge logic free of slot
+//! surgery. Splits divide a node at half its payload bytes; a node that
+//! falls under a quarter page merges with its right sibling when the
+//! combined payload fits.
+
+use crate::codec;
+use crate::error::StorageError;
+use crate::io::IoStats;
+use crate::pager::page::{cells_fit, Page, PageType, DISK_PAGE_SIZE};
+use crate::pager::Pager;
+use crate::value::Key;
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+fn corrupt(detail: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+// ------------------------------------------------------------------- cells
+
+fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
+    let mut c = Vec::with_capacity(4 + key.len() + val.len());
+    c.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    c.extend_from_slice(key);
+    c.extend_from_slice(&(val.len() as u16).to_le_bytes());
+    c.extend_from_slice(val);
+    c
+}
+
+fn parse_leaf_cell(cell: &[u8]) -> Result<(&[u8], &[u8]), StorageError> {
+    if cell.len() < 2 {
+        return Err(corrupt("leaf cell truncated"));
+    }
+    let klen = u16::from_le_bytes(cell[..2].try_into().unwrap()) as usize;
+    if cell.len() < 2 + klen + 2 {
+        return Err(corrupt("leaf cell key truncated"));
+    }
+    let key = &cell[2..2 + klen];
+    let vlen =
+        u16::from_le_bytes(cell[2 + klen..4 + klen].try_into().unwrap()) as usize;
+    if cell.len() != 4 + klen + vlen {
+        return Err(corrupt("leaf cell value truncated"));
+    }
+    Ok((key, &cell[4 + klen..]))
+}
+
+fn internal_cell(key: &[u8], child: u32) -> Vec<u8> {
+    let mut c = Vec::with_capacity(6 + key.len());
+    c.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    c.extend_from_slice(key);
+    c.extend_from_slice(&child.to_le_bytes());
+    c
+}
+
+fn parse_internal_cell(cell: &[u8]) -> Result<(&[u8], u32), StorageError> {
+    if cell.len() < 2 {
+        return Err(corrupt("internal cell truncated"));
+    }
+    let klen = u16::from_le_bytes(cell[..2].try_into().unwrap()) as usize;
+    if cell.len() != 2 + klen + 4 {
+        return Err(corrupt("internal cell malformed"));
+    }
+    Ok((
+        &cell[2..2 + klen],
+        u32::from_le_bytes(cell[2 + klen..].try_into().unwrap()),
+    ))
+}
+
+fn cell_key(cell: &[u8], leaf: bool) -> Result<&[u8], StorageError> {
+    if leaf {
+        parse_leaf_cell(cell).map(|(k, _)| k)
+    } else {
+        parse_internal_cell(cell).map(|(k, _)| k)
+    }
+}
+
+fn decode_cell_key(cell: &[u8], leaf: bool) -> Result<Key, StorageError> {
+    codec::decode_tuple(cell_key(cell, leaf)?)
+}
+
+/// Binary search over a node's cells: `Ok(i)` = exact match at `i`,
+/// `Err(i)` = first cell whose key is greater than `target` (insertion
+/// point).
+fn search(cells: &[Vec<u8>], target: &Key, leaf: bool) -> Result<Result<usize, usize>, StorageError> {
+    let mut lo = 0usize;
+    let mut hi = cells.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match decode_cell_key(&cells[mid], leaf)?.cmp(target) {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => return Ok(Ok(mid)),
+        }
+    }
+    Ok(Err(lo))
+}
+
+fn is_leaf(page: &Page) -> Result<bool, StorageError> {
+    match page.page_type()? {
+        PageType::Leaf => Ok(true),
+        PageType::Internal => Ok(false),
+        t => Err(corrupt(format!("expected B+-tree page, found {t:?}"))),
+    }
+}
+
+fn payload_bytes(cells: &[Vec<u8>]) -> usize {
+    cells.iter().map(Vec::len).sum()
+}
+
+/// Under a quarter page of payload: merge candidate.
+fn underfull(cells: &[Vec<u8>]) -> bool {
+    payload_bytes(cells) < DISK_PAGE_SIZE / 4
+}
+
+fn write_leaf(
+    p: &mut Pager,
+    no: u32,
+    cells: &[Vec<u8>],
+    next: u32,
+) -> Result<(), StorageError> {
+    let mut page = Page::new(PageType::Leaf);
+    page.set_cells(cells);
+    page.set_next_page(next);
+    p.write_page(no, page)
+}
+
+fn write_internal(
+    p: &mut Pager,
+    no: u32,
+    cells: &[Vec<u8>],
+    aux: u32,
+) -> Result<(), StorageError> {
+    debug_assert!(aux != 0, "internal node must have a rightmost child");
+    let mut page = Page::new(PageType::Internal);
+    page.set_cells(cells);
+    page.set_aux(aux);
+    p.write_page(no, page)
+}
+
+/// Splits `cells` at roughly half the payload bytes; both halves non-empty.
+fn split_point(cells: &[Vec<u8>]) -> usize {
+    let total = payload_bytes(cells);
+    let mut acc = 0usize;
+    for (i, c) in cells.iter().enumerate() {
+        acc += c.len();
+        if acc * 2 >= total {
+            return (i + 1).min(cells.len() - 1).max(1);
+        }
+    }
+    cells.len() / 2
+}
+
+// --------------------------------------------------------------- interface
+
+/// Creates an empty tree; returns its root page.
+pub fn create(p: &mut Pager) -> Result<u32, StorageError> {
+    let no = p.allocate_page()?;
+    write_leaf(p, no, &[], 0)?;
+    Ok(no)
+}
+
+enum Ins {
+    Done,
+    Split { sep: Vec<u8>, right: u32 },
+}
+
+/// Inserts (or replaces) `key → val`; returns the possibly-new root.
+pub fn insert(
+    p: &mut Pager,
+    root: u32,
+    key: &Key,
+    val: &[u8],
+) -> Result<u32, StorageError> {
+    let key_enc = codec::encode_tuple(key);
+    let cell = leaf_cell(&key_enc, val);
+    if !cells_fit(std::slice::from_ref(&cell)) {
+        return Err(StorageError::Io(format!(
+            "record of {} bytes exceeds page capacity",
+            cell.len()
+        )));
+    }
+    match insert_rec(p, root, key, &cell)? {
+        Ins::Done => Ok(root),
+        Ins::Split { sep, right } => {
+            let new_root = p.allocate_page()?;
+            write_internal(p, new_root, &[internal_cell(&sep, root)], right)?;
+            Ok(new_root)
+        }
+    }
+}
+
+fn insert_rec(
+    p: &mut Pager,
+    no: u32,
+    key: &Key,
+    new_cell: &[u8],
+) -> Result<Ins, StorageError> {
+    let mut io = IoStats::new();
+    let page = p.read_page(no, &mut io)?;
+    let mut cells = page.cells();
+    if is_leaf(&page)? {
+        let next = page.next_page();
+        match search(&cells, key, true)? {
+            Ok(i) => cells[i] = new_cell.to_vec(),
+            Err(i) => cells.insert(i, new_cell.to_vec()),
+        }
+        if cells_fit(&cells) {
+            write_leaf(p, no, &cells, next)?;
+            return Ok(Ins::Done);
+        }
+        let at = split_point(&cells);
+        let right_cells: Vec<Vec<u8>> = cells.split_off(at);
+        let right = p.allocate_page()?;
+        write_leaf(p, right, &right_cells, next)?;
+        write_leaf(p, no, &cells, right)?;
+        let sep = cell_key(cells.last().expect("left half non-empty"), true)?.to_vec();
+        return Ok(Ins::Split { sep, right });
+    }
+
+    let aux = page.aux();
+    let slot = match search(&cells, key, false)? {
+        Ok(i) => i,
+        Err(i) => i,
+    };
+    let (child, child_is_aux) = if slot < cells.len() {
+        (parse_internal_cell(&cells[slot])?.1, false)
+    } else {
+        (aux, true)
+    };
+    let Ins::Split { sep, right } = insert_rec(p, child, key, new_cell)? else {
+        return Ok(Ins::Done);
+    };
+    // `child` kept the low half (keys <= sep); `right` holds the rest of
+    // child's old range.
+    let mut aux = aux;
+    if child_is_aux {
+        cells.push(internal_cell(&sep, child));
+        aux = right;
+    } else {
+        let (old_key, _) = parse_internal_cell(&cells[slot])?;
+        let old_key = old_key.to_vec();
+        cells[slot] = internal_cell(&sep, child);
+        cells.insert(slot + 1, internal_cell(&old_key, right));
+    }
+    if cells_fit(&cells) {
+        write_internal(p, no, &cells, aux)?;
+        return Ok(Ins::Done);
+    }
+    let at = split_point(&cells);
+    // Promote the cell at `at - 1`: its child becomes the left node's aux.
+    let right_cells: Vec<Vec<u8>> = cells.split_off(at);
+    let promoted = cells.pop().expect("left half non-empty");
+    let (sep, left_aux) = parse_internal_cell(&promoted)?;
+    let (sep, left_aux) = (sep.to_vec(), left_aux);
+    let right_no = p.allocate_page()?;
+    write_internal(p, right_no, &right_cells, aux)?;
+    write_internal(p, no, &cells, left_aux)?;
+    Ok(Ins::Split {
+        sep,
+        right: right_no,
+    })
+}
+
+/// Removes `key`; returns `(possibly-new root, removed)`.
+pub fn remove(p: &mut Pager, root: u32, key: &Key) -> Result<(u32, bool), StorageError> {
+    let (removed, _) = remove_rec(p, root, key)?;
+    if !removed {
+        return Ok((root, false));
+    }
+    // Root collapse: an internal root reduced to a single (aux) child.
+    let mut io = IoStats::new();
+    let page = p.read_page(root, &mut io)?;
+    if !is_leaf(&page)? && page.nslots() == 0 {
+        let new_root = page.aux();
+        p.free_page(root)?;
+        return Ok((new_root, true));
+    }
+    Ok((root, true))
+}
+
+fn remove_rec(
+    p: &mut Pager,
+    no: u32,
+    key: &Key,
+) -> Result<(bool, bool), StorageError> {
+    let mut io = IoStats::new();
+    let page = p.read_page(no, &mut io)?;
+    let mut cells = page.cells();
+    if is_leaf(&page)? {
+        let Ok(i) = search(&cells, key, true)? else {
+            return Ok((false, false));
+        };
+        cells.remove(i);
+        let next = page.next_page();
+        write_leaf(p, no, &cells, next)?;
+        return Ok((true, underfull(&cells)));
+    }
+
+    let aux = page.aux();
+    let slot = match search(&cells, key, false)? {
+        Ok(i) => i,
+        Err(i) => i,
+    };
+    let child = if slot < cells.len() {
+        parse_internal_cell(&cells[slot])?.1
+    } else {
+        aux
+    };
+    let (removed, child_underflow) = remove_rec(p, child, key)?;
+    if !removed {
+        return Ok((false, false));
+    }
+    if !child_underflow {
+        return Ok((true, false));
+    }
+    // Merge the underfull child with its right sibling under this node
+    // (or, if it is the rightmost, merge its left sibling into it).
+    let j = slot.min(cells.len().saturating_sub(1));
+    if cells.is_empty() {
+        // Single-child node (aux only): nothing to merge with here; let
+        // the parent handle it.
+        return Ok((true, true));
+    }
+    let left_no = parse_internal_cell(&cells[j])?.1;
+    let (right_no, right_is_aux) = if j + 1 < cells.len() {
+        (parse_internal_cell(&cells[j + 1])?.1, false)
+    } else {
+        (aux, true)
+    };
+    let merged = try_merge(p, left_no, right_no, &cells[j])?;
+    let mut aux = aux;
+    if merged {
+        if right_is_aux {
+            cells.remove(j);
+            aux = left_no;
+        } else {
+            let (up_key, _) = parse_internal_cell(&cells[j + 1])?;
+            let up_key = up_key.to_vec();
+            cells.remove(j + 1);
+            cells[j] = internal_cell(&up_key, left_no);
+        }
+    }
+    write_internal(p, no, &cells, aux)?;
+    Ok((true, underfull(&cells)))
+}
+
+/// Merges `right` into `left` if the combined payload fits; frees `right`.
+/// `sep_cell` is the parent cell separating them (needed to rejoin two
+/// internal nodes). Returns whether the merge happened.
+fn try_merge(
+    p: &mut Pager,
+    left_no: u32,
+    right_no: u32,
+    sep_cell: &[u8],
+) -> Result<bool, StorageError> {
+    let mut io = IoStats::new();
+    let left = p.read_page(left_no, &mut io)?;
+    let right = p.read_page(right_no, &mut io)?;
+    let left_leaf = is_leaf(&left)?;
+    if left_leaf != is_leaf(&right)? {
+        return Err(corrupt("sibling height mismatch"));
+    }
+    let mut cells = left.cells();
+    if left_leaf {
+        cells.extend(right.cells());
+        if !cells_fit(&cells) {
+            return Ok(false);
+        }
+        write_leaf(p, left_no, &cells, right.next_page())?;
+    } else {
+        let (sep, _) = parse_internal_cell(sep_cell)?;
+        cells.push(internal_cell(sep, left.aux()));
+        cells.extend(right.cells());
+        if !cells_fit(&cells) {
+            return Ok(false);
+        }
+        write_internal(p, left_no, &cells, right.aux())?;
+    }
+    p.free_page(right_no)?;
+    Ok(true)
+}
+
+/// Point lookup. Charges one page per level touched (plus faults).
+pub fn lookup(
+    p: &mut Pager,
+    root: u32,
+    key: &Key,
+    io: &mut IoStats,
+) -> Result<Option<Vec<u8>>, StorageError> {
+    let mut no = root;
+    loop {
+        let page = p.read_page(no, io)?;
+        let cells = page.cells();
+        if is_leaf(&page)? {
+            return Ok(match search(&cells, key, true)? {
+                Ok(i) => Some(parse_leaf_cell(&cells[i])?.1.to_vec()),
+                Err(_) => None,
+            });
+        }
+        let slot = match search(&cells, key, false)? {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        no = if slot < cells.len() {
+            parse_internal_cell(&cells[slot])?.1
+        } else {
+            page.aux()
+        };
+    }
+}
+
+fn bound_allows_lower(key: &Key, lower: &Bound<&Key>) -> bool {
+    match lower {
+        Bound::Included(l) => key >= l,
+        Bound::Excluded(l) => key > l,
+        Bound::Unbounded => true,
+    }
+}
+
+fn bound_allows_upper(key: &Key, upper: &Bound<&Key>) -> bool {
+    match upper {
+        Bound::Included(u) => key <= u,
+        Bound::Excluded(u) => key < u,
+        Bound::Unbounded => true,
+    }
+}
+
+/// Ordered range scan: calls `visit(key, value)` for every entry within the
+/// bounds, charging `io` one page per node touched. Returns the number of
+/// entries visited.
+pub fn range<F: FnMut(Key, &[u8])>(
+    p: &mut Pager,
+    root: u32,
+    lower: Bound<&Key>,
+    upper: Bound<&Key>,
+    io: &mut IoStats,
+    mut visit: F,
+) -> Result<u64, StorageError> {
+    // Descend to the leaf that may contain the lower bound.
+    let probe: Option<&Key> = match &lower {
+        Bound::Included(k) | Bound::Excluded(k) => Some(k),
+        Bound::Unbounded => None,
+    };
+    let mut no = root;
+    loop {
+        let page = p.read_page(no, io)?;
+        let cells = page.cells();
+        if is_leaf(&page)? {
+            break;
+        }
+        let slot = match probe {
+            Some(k) => match search(&cells, k, false)? {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+            None => 0,
+        };
+        no = if slot < cells.len() {
+            parse_internal_cell(&cells[slot])?.1
+        } else {
+            page.aux()
+        };
+    }
+    // Walk the leaf chain.
+    let mut visited = 0u64;
+    loop {
+        let page = if visited == 0 && no != 0 {
+            // First leaf already charged by the descent loop's last read;
+            // re-read from pool (hit) to keep borrowck simple but do not
+            // double-charge the logical page.
+            let mut scratch = IoStats::new();
+            p.read_page(no, &mut scratch)?
+        } else if no != 0 {
+            p.read_page(no, io)?
+        } else {
+            return Ok(visited);
+        };
+        for cell in page.cells() {
+            let (k, v) = parse_leaf_cell(&cell)?;
+            let key = codec::decode_tuple(k)?;
+            if !bound_allows_lower(&key, &lower) {
+                continue;
+            }
+            if !bound_allows_upper(&key, &upper) {
+                return Ok(visited);
+            }
+            visit(key, v);
+            visited += 1;
+        }
+        no = page.next_page();
+        if no == 0 {
+            return Ok(visited);
+        }
+    }
+}
+
+/// Frees every page of the tree (DROP INDEX).
+pub fn free(p: &mut Pager, root: u32) -> Result<(), StorageError> {
+    let mut io = IoStats::new();
+    let page = p.read_page(root, &mut io)?;
+    if !is_leaf(&page)? {
+        for cell in page.cells() {
+            let (_, child) = parse_internal_cell(&cell)?;
+            free(p, child)?;
+        }
+        free(p, page.aux())?;
+    }
+    p.free_page(root)
+}
+
+/// Height of the tree in levels (1 = a lone leaf).
+pub fn height(p: &mut Pager, root: u32) -> Result<u32, StorageError> {
+    let mut io = IoStats::new();
+    let mut no = root;
+    let mut h = 1;
+    loop {
+        let page = p.read_page(no, &mut io)?;
+        if is_leaf(&page)? {
+            return Ok(h);
+        }
+        let cells = page.cells();
+        no = if cells.is_empty() {
+            page.aux()
+        } else {
+            parse_internal_cell(&cells[0])?.1
+        };
+        h += 1;
+    }
+}
+
+/// Total entries in the tree (consistency audits).
+pub fn count(p: &mut Pager, root: u32) -> Result<u64, StorageError> {
+    let mut io = IoStats::new();
+    range(p, root, Bound::Unbounded, Bound::Unbounded, &mut io, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::PagerOptions;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "aim-btree-test-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, AtomicOrdering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pager(name: &str) -> Pager {
+        Pager::open(&tmp(name), PagerOptions::default()).unwrap()
+    }
+
+    fn k(i: i64) -> Key {
+        vec![Value::Int(i), Value::Str(format!("key-{i:06}"))]
+    }
+
+    fn collect_all(p: &mut Pager, root: u32) -> Vec<(Key, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut io = IoStats::new();
+        range(p, root, Bound::Unbounded, Bound::Unbounded, &mut io, |k, v| {
+            out.push((k, v.to_vec()))
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        let mut p = pager("small");
+        let mut root = create(&mut p).unwrap();
+        for i in [5, 1, 9, 3, 7] {
+            root = insert(&mut p, root, &k(i), &i.to_le_bytes()).unwrap();
+        }
+        p.commit().unwrap();
+        let mut io = IoStats::new();
+        for i in [1, 3, 5, 7, 9] {
+            let v = lookup(&mut p, root, &k(i), &mut io).unwrap().unwrap();
+            assert_eq!(v, i.to_le_bytes());
+        }
+        assert!(lookup(&mut p, root, &k(2), &mut io).unwrap().is_none());
+        let all = collect_all(&mut p, root);
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted order");
+    }
+
+    #[test]
+    fn replace_existing_key() {
+        let mut p = pager("replace");
+        let mut root = create(&mut p).unwrap();
+        root = insert(&mut p, root, &k(1), b"old").unwrap();
+        root = insert(&mut p, root, &k(1), b"new").unwrap();
+        p.commit().unwrap();
+        let mut io = IoStats::new();
+        assert_eq!(lookup(&mut p, root, &k(1), &mut io).unwrap().unwrap(), b"new");
+        assert_eq!(count(&mut p, root).unwrap(), 1);
+    }
+
+    #[test]
+    fn grows_past_one_page_and_stays_sorted() {
+        let mut p = pager("grow");
+        let mut root = create(&mut p).unwrap();
+        let n = 3000i64;
+        // Insert in a scrambled deterministic order.
+        let mut order: Vec<i64> = (0..n).collect();
+        for i in 0..order.len() {
+            let j = ((i as u64).wrapping_mul(0x9e37_79b9) % n as u64) as usize;
+            order.swap(i, j);
+        }
+        for &i in &order {
+            root = insert(&mut p, root, &k(i), &i.to_le_bytes()).unwrap();
+        }
+        p.commit().unwrap();
+        assert!(height(&mut p, root).unwrap() >= 2, "3000 entries must split");
+        let all = collect_all(&mut p, root);
+        assert_eq!(all.len(), n as usize);
+        for (i, (key, val)) in all.iter().enumerate() {
+            assert_eq!(key, &k(i as i64));
+            assert_eq!(val, &(i as i64).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut p = pager("range");
+        let mut root = create(&mut p).unwrap();
+        for i in 0..2000 {
+            root = insert(&mut p, root, &k(i), b"").unwrap();
+        }
+        p.commit().unwrap();
+        let lo = k(100);
+        let hi = k(200);
+        let mut io = IoStats::new();
+        let mut got = Vec::new();
+        range(
+            &mut p,
+            root,
+            Bound::Included(&lo),
+            Bound::Excluded(&hi),
+            &mut io,
+            |key, _| got.push(key),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], k(100));
+        assert_eq!(got[99], k(199));
+        assert!(
+            io.pages_read < 20,
+            "bounded scan must not touch the whole tree: {}",
+            io.pages_read
+        );
+    }
+
+    #[test]
+    fn delete_shrinks_and_merges() {
+        let mut p = pager("shrink");
+        let mut root = create(&mut p).unwrap();
+        let n = 3000i64;
+        for i in 0..n {
+            root = insert(&mut p, root, &k(i), &i.to_le_bytes()).unwrap();
+        }
+        p.commit().unwrap();
+        let grown_height = height(&mut p, root).unwrap();
+        assert!(grown_height >= 2);
+        // Delete all but a handful.
+        for i in 0..n - 5 {
+            let (new_root, removed) = remove(&mut p, root, &k(i)).unwrap();
+            assert!(removed, "key {i} present");
+            root = new_root;
+        }
+        p.commit().unwrap();
+        assert_eq!(count(&mut p, root).unwrap(), 5);
+        assert_eq!(
+            height(&mut p, root).unwrap(),
+            1,
+            "root must collapse back to a lone leaf"
+        );
+        let all = collect_all(&mut p, root);
+        assert_eq!(all[0].0, k(n - 5));
+        // Removing a missing key reports false.
+        let (_, removed) = remove(&mut p, root, &k(0)).unwrap();
+        assert!(!removed);
+    }
+
+    #[test]
+    fn random_ops_match_btreemap_mirror() {
+        let mut p = pager("mirror");
+        let mut root = create(&mut p).unwrap();
+        let mut mirror: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+        let mut state = 0x1234_5678_u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000 {
+            let key = k((rand() % 500) as i64);
+            match rand() % 3 {
+                0 | 1 => {
+                    let val = format!("v{step}").into_bytes();
+                    root = insert(&mut p, root, &key, &val).unwrap();
+                    mirror.insert(key, val);
+                }
+                _ => {
+                    let (new_root, removed) = remove(&mut p, root, &key).unwrap();
+                    root = new_root;
+                    assert_eq!(removed, mirror.remove(&key).is_some());
+                }
+            }
+            if step % 512 == 0 {
+                p.commit().unwrap();
+            }
+        }
+        p.commit().unwrap();
+        let all = collect_all(&mut p, root);
+        let expect: Vec<(Key, Vec<u8>)> =
+            mirror.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn free_returns_pages_to_freelist() {
+        let mut p = pager("free");
+        let mut root = create(&mut p).unwrap();
+        for i in 0..2000 {
+            root = insert(&mut p, root, &k(i), b"x").unwrap();
+        }
+        p.commit().unwrap();
+        let before = p.meta().page_count;
+        free(&mut p, root).unwrap();
+        p.commit().unwrap();
+        assert_eq!(p.meta().page_count, before, "freeing shrinks nothing yet");
+        // Building a new tree of the same size reuses the freed pages.
+        let mut root2 = create(&mut p).unwrap();
+        for i in 0..2000 {
+            root2 = insert(&mut p, root2, &k(i), b"x").unwrap();
+        }
+        p.commit().unwrap();
+        assert_eq!(
+            p.meta().page_count,
+            before,
+            "rebuilt tree must reuse freed pages, not grow the file"
+        );
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = pager("oversize");
+        let root = create(&mut p).unwrap();
+        let huge = vec![0u8; DISK_PAGE_SIZE];
+        let err = insert(&mut p, root, &k(1), &huge).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn int_float_collation_matches_memory() {
+        let mut p = pager("collation");
+        let mut root = create(&mut p).unwrap();
+        root = insert(&mut p, root, &vec![Value::Int(3)], b"int").unwrap();
+        // Float(3.0) compares equal to Int(3): this must *replace*.
+        root = insert(&mut p, root, &vec![Value::Float(3.0)], b"float").unwrap();
+        p.commit().unwrap();
+        assert_eq!(count(&mut p, root).unwrap(), 1);
+        let mut io = IoStats::new();
+        let v = lookup(&mut p, root, &vec![Value::Int(3)], &mut io)
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, b"float");
+    }
+}

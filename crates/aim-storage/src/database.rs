@@ -1,12 +1,18 @@
 //! The database: a catalog of tables with their indexes and statistics.
 
+use crate::backend::{
+    memory_backend, BackendKind, DiskBackend, StorageBackend, StorageCounters,
+};
 use crate::error::StorageError;
 use crate::io::IoStats;
+use crate::pager::PagerOptions;
 use crate::schema::{IndexDef, TableSchema};
 use crate::stats::{analyze, TableStats, DEFAULT_BUCKETS};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Source of process-unique database instance identifiers (cache keying).
 static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
@@ -36,6 +42,9 @@ pub struct Database {
     /// True when data/schema may have changed since the last full
     /// [`Database::analyze_all`] — the ANALYZE-worth-running signal.
     dirty: bool,
+    /// Durability backend shared by every table. [`memory_backend`] for
+    /// pure in-memory instances; a [`DiskBackend`] for pager-backed ones.
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl Default for Database {
@@ -46,26 +55,89 @@ impl Default for Database {
             id: next_db_id(),
             epoch: 0,
             dirty: false,
+            backend: memory_backend(),
         }
     }
 }
 
 impl Clone for Database {
+    /// Clones always land on the in-memory backend, whatever the source
+    /// runs on: a clone is the paper's MyShadow *test* instance — candidate
+    /// indexes are materialized and traffic replayed on it, and none of
+    /// that experimentation may reach the production WAL or data files.
     fn clone(&self) -> Self {
+        let mut tables = self.tables.clone();
+        for table in tables.values_mut() {
+            table.detach_to_memory();
+        }
         Self {
-            tables: self.tables.clone(),
+            tables,
             stats: self.stats.clone(),
             id: next_db_id(),
             epoch: self.epoch,
             dirty: self.dirty,
+            backend: memory_backend(),
         }
     }
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty in-memory database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens (or creates) a disk-backed database rooted at `dir`.
+    ///
+    /// Runs WAL recovery, loads every table's heap and index trees into the
+    /// in-memory working set, and re-analyzes statistics. Subsequent DML and
+    /// index DDL are persisted through the pager before they become visible
+    /// in memory, so a crash (or [`Database::simulate_crash`]) loses at most
+    /// the in-flight statement.
+    pub fn open_disk(dir: &Path, opts: PagerOptions) -> Result<Database, StorageError> {
+        let (backend, loaded) = DiskBackend::open(dir, opts)?;
+        let backend: Arc<dyn StorageBackend> = backend;
+        let mut tables = BTreeMap::new();
+        for lt in loaded {
+            let name = lt.schema.name.clone();
+            let table = Table::load(lt.schema, lt.rows, lt.indexes, backend.clone())?;
+            tables.insert(name, table);
+        }
+        let mut db = Database {
+            tables,
+            stats: BTreeMap::new(),
+            id: next_db_id(),
+            epoch: 0,
+            dirty: true,
+            backend,
+        };
+        db.analyze_all();
+        Ok(db)
+    }
+
+    /// Which backend this instance runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Forces a checkpoint: flushes dirty pages, fsyncs the data file and
+    /// truncates the WAL. No-op on the in-memory backend.
+    pub fn checkpoint(&self) -> Result<(), StorageError> {
+        self.backend.checkpoint()
+    }
+
+    /// Drops all buffered state without flushing — everything not yet
+    /// committed to the WAL is lost, exactly as in a process kill. The
+    /// instance must be re-opened via [`Database::open_disk`] afterwards.
+    /// No-op on the in-memory backend.
+    pub fn simulate_crash(&self) {
+        self.backend.simulate_crash();
+    }
+
+    /// Cumulative buffer-pool / WAL / pager counters for this instance.
+    /// All-zero on the in-memory backend.
+    pub fn storage_counters(&self) -> StorageCounters {
+        self.backend.counters()
     }
 
     /// Process-unique identity of this instance. Clones get a fresh id.
@@ -93,9 +165,13 @@ impl Database {
         if self.tables.contains_key(&schema.name) {
             return Err(StorageError::DuplicateTable(schema.name));
         }
+        self.backend.persist_create_table(&schema)?;
         self.epoch += 1;
         self.dirty = true;
-        self.tables.insert(schema.name.clone(), Table::new(schema));
+        self.tables.insert(
+            schema.name.clone(),
+            Table::new(schema).with_backend(self.backend.clone()),
+        );
         Ok(())
     }
 

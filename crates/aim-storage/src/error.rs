@@ -19,6 +19,14 @@ pub enum StorageError {
     /// A fault injected by an armed [`crate::fault::FaultPlan`] (chaos
     /// testing); `site` names the instrumented operation that failed.
     FaultInjected { site: String },
+    /// An operating-system I/O failure from the disk backend (open, read,
+    /// write, fsync). Not retryable: the pager cannot know whether the
+    /// kernel persisted anything.
+    Io(String),
+    /// On-disk corruption detected by the disk backend: a page whose
+    /// checksum does not match its payload (torn write), a malformed WAL
+    /// record, or an undecodable catalog. Never retryable.
+    Corrupt { detail: String },
 }
 
 impl StorageError {
@@ -51,6 +59,10 @@ impl fmt::Display for StorageError {
             StorageError::RowMismatch(msg) => write!(f, "row mismatch: {msg}"),
             StorageError::FaultInjected { site } => {
                 write!(f, "injected fault at {site}")
+            }
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::Corrupt { detail } => {
+                write!(f, "storage corruption: {detail}")
             }
         }
     }

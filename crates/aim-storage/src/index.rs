@@ -5,11 +5,13 @@
 //! disambiguates duplicate key prefixes and lets covering scans avoid the
 //! base table entirely.
 
+use crate::backend::{memory_backend, StorageBackend};
 use crate::io::IoStats;
 use crate::schema::IndexDef;
 use crate::value::{Key, Row, Value};
 use std::collections::BTreeSet;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A materialized composite secondary index.
 #[derive(Debug, Clone)]
@@ -22,12 +24,16 @@ pub struct SecondaryIndex {
     entries: BTreeSet<Key>,
     /// Running total of entry bytes, for size accounting.
     total_bytes: u64,
+    /// Decides whether scans charge measured page I/O (disk backend) or
+    /// the simulated model. Entries themselves always live in `entries`.
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl SecondaryIndex {
-    /// Creates an empty index. `key_positions`/`pk_positions` must match the
-    /// owning table's row layout; the table is responsible for resolving
-    /// them from `def.columns`.
+    /// Creates an empty index on the in-memory backend.
+    /// `key_positions`/`pk_positions` must match the owning table's row
+    /// layout; the table is responsible for resolving them from
+    /// `def.columns`.
     pub fn new(def: IndexDef, key_positions: Vec<usize>, pk_positions: Vec<usize>) -> Self {
         Self {
             def,
@@ -35,7 +41,27 @@ impl SecondaryIndex {
             pk_positions,
             entries: BTreeSet::new(),
             total_bytes: 0,
+            backend: memory_backend(),
         }
+    }
+
+    /// Re-points scan accounting at `backend` (set by the owning table).
+    pub(crate) fn set_backend(&mut self, backend: Arc<dyn StorageBackend>) {
+        self.backend = backend;
+    }
+
+    /// Inserts a pre-built entry (backend recovery path — the entry comes
+    /// from the on-disk tree, not from a row).
+    pub(crate) fn insert_entry(&mut self, entry: Key) {
+        let bytes: u64 = entry.iter().map(Value::storage_size).sum();
+        if self.entries.insert(entry) {
+            self.total_bytes += bytes;
+        }
+    }
+
+    /// All entries in key order (backend persistence path).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = &Key> {
+        self.entries.iter()
     }
 
     /// The index definition (name, table, key columns).
@@ -129,16 +155,25 @@ impl SecondaryIndex {
         );
         let (lower, upper) = crate::value::prefix_range_bounds(prefix, next_col_range);
 
-        io.charge_seek();
+        let measured = self.backend.account_index_range(
+            &self.def.table,
+            &self.def.name,
+            lower.as_ref(),
+            upper.as_ref(),
+            io,
+        );
         let mut bytes = 0u64;
         let mut out = Vec::new();
         for entry in self.entries.range((lower, upper)) {
             bytes += entry.iter().map(Value::storage_size).sum::<u64>();
             out.push(entry);
         }
-        io.charge_rows(out.len() as u64);
-        if bytes > 0 {
-            io.charge_sequential(bytes);
+        if !measured {
+            io.charge_seek();
+            io.charge_rows(out.len() as u64);
+            if bytes > 0 {
+                io.charge_sequential(bytes);
+            }
         }
         out
     }
@@ -159,9 +194,18 @@ impl SecondaryIndex {
     /// Scans the entire index in key order (used for index-ordered GROUP BY
     /// / ORDER BY without a usable predicate).
     pub fn scan_all(&self, io: &mut IoStats) -> Vec<&Key> {
-        io.charge_seek();
-        io.charge_rows(self.entries.len() as u64);
-        io.charge_sequential(self.total_bytes);
+        let measured = self.backend.account_index_range(
+            &self.def.table,
+            &self.def.name,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            io,
+        );
+        if !measured {
+            io.charge_seek();
+            io.charge_rows(self.entries.len() as u64);
+            io.charge_sequential(self.total_bytes);
+        }
         self.entries.iter().collect()
     }
 }

@@ -23,6 +23,9 @@ pub struct IoStats {
     pub rows_written: u64,
     /// Pages written.
     pub pages_written: u64,
+    /// Pages that missed the buffer pool and were fetched from the disk
+    /// file (disk backend only; always zero for the in-memory engine).
+    pub pages_faulted: u64,
 }
 
 impl IoStats {
@@ -38,6 +41,7 @@ impl IoStats {
         self.rows_read += other.rows_read;
         self.rows_written += other.rows_written;
         self.pages_written += other.pages_written;
+        self.pages_faulted += other.pages_faulted;
     }
 
     /// Charges a B+-tree point lookup: one seek plus one leaf page.

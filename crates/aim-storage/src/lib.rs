@@ -41,18 +41,28 @@
 //! assert_eq!(db.stats("students").unwrap().column("score").unwrap().ndv, 10);
 //! ```
 
+pub mod backend;
+pub mod btree_page;
+pub mod codec;
 pub mod database;
 pub mod error;
 pub mod fault;
+pub mod heap;
 pub mod index;
 pub mod io;
+pub mod pager;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use backend::{
+    memory_backend, BackendKind, DiskBackend, LoadedTable, MemoryBackend, StorageBackend,
+    StorageCounters, TaggedEntry,
+};
 pub use database::Database;
 pub use error::StorageError;
+pub use pager::{Pager, PagerOptions};
 pub use fault::{FaultKind, FaultPlan, FaultRule, Injection};
 pub use index::SecondaryIndex;
 pub use io::{pages_for, IoStats, PAGE_SIZE};

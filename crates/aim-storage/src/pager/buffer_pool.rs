@@ -1,0 +1,361 @@
+//! Fixed-capacity buffer pool with clock (second-chance) eviction.
+//!
+//! The pool caches page images between the pager and the database file and
+//! accounts every hit, miss and eviction — the counters surface through
+//! `aim-telemetry` as `storage.bp.*`. Eviction policy is *no-steal until
+//! committed*: a frame dirtied by the in-flight transaction can never be
+//! chosen as a victim (its image exists nowhere durable yet), so the pool
+//! temporarily grows past capacity if a transaction's working set exceeds
+//! it. Committed dirty victims are returned to the pager, which writes
+//! them to the database file before reusing the frame — safe at any time,
+//! because the WAL already holds their committed image and redo is
+//! idempotent.
+
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Frame {
+    page_no: u32,
+    data: Vec<u8>,
+    /// Modified since last flushed to the database file.
+    dirty: bool,
+    /// Written by the in-flight transaction: not evictable.
+    uncommitted: bool,
+    /// Clock reference bit (second chance).
+    referenced: bool,
+}
+
+/// Hit/miss/eviction counts since the pool was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// The buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Option<Frame>>,
+    free_slots: Vec<usize>,
+    map: HashMap<u32, usize>,
+    hand: usize,
+    counters: PoolCounters,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` frames (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            frames: Vec::new(),
+            free_slots: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            counters: PoolCounters::default(),
+        }
+    }
+
+    pub fn counters(&self) -> PoolCounters {
+        self.counters
+    }
+
+    /// Number of resident frames.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks a page up, counting a hit or a miss.
+    pub fn get(&mut self, page_no: u32) -> Option<&[u8]> {
+        match self.map.get(&page_no) {
+            Some(&idx) => {
+                self.counters.hits += 1;
+                let f = self.frames[idx].as_mut().expect("mapped frame");
+                f.referenced = true;
+                Some(&f.data)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks a page up without touching the counters or the clock (pager
+    /// internals: transaction bookkeeping, not query traffic).
+    pub fn peek(&self, page_no: u32) -> Option<&[u8]> {
+        self.map
+            .get(&page_no)
+            .map(|&idx| self.frames[idx].as_ref().expect("mapped frame").data.as_slice())
+    }
+
+    /// True if the frame is resident and dirty.
+    pub fn is_dirty(&self, page_no: u32) -> bool {
+        self.map
+            .get(&page_no)
+            .is_some_and(|&idx| self.frames[idx].as_ref().expect("mapped frame").dirty)
+    }
+
+    /// Inserts or overwrites a page image. Returns an evicted *committed
+    /// dirty* page `(page_no, sealed image)` that the caller must write to
+    /// the database file before the eviction is durable-safe.
+    pub fn put(
+        &mut self,
+        page_no: u32,
+        data: Vec<u8>,
+        dirty: bool,
+        uncommitted: bool,
+    ) -> Option<(u32, Vec<u8>)> {
+        if let Some(&idx) = self.map.get(&page_no) {
+            let f = self.frames[idx].as_mut().expect("mapped frame");
+            f.data = data;
+            f.dirty = f.dirty || dirty;
+            f.uncommitted = f.uncommitted || uncommitted;
+            f.referenced = true;
+            return None;
+        }
+        let mut writeback = None;
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self.pick_victim() {
+                let f = self.frames[victim].take().expect("victim frame");
+                self.map.remove(&f.page_no);
+                self.free_slots.push(victim);
+                self.counters.evictions += 1;
+                if f.dirty {
+                    writeback = Some((f.page_no, f.data));
+                }
+            }
+            // No victim: every frame belongs to the in-flight transaction;
+            // grow past capacity rather than steal an unlogged page.
+        }
+        let frame = Frame {
+            page_no,
+            data,
+            dirty,
+            uncommitted,
+            referenced: true,
+        };
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.frames[i] = Some(frame);
+                i
+            }
+            None => {
+                self.frames.push(Some(frame));
+                self.frames.len() - 1
+            }
+        };
+        self.map.insert(page_no, idx);
+        writeback
+    }
+
+    /// Clock sweep: skip uncommitted frames, give referenced frames a
+    /// second chance, evict the first quiescent frame found.
+    fn pick_victim(&mut self) -> Option<usize> {
+        if self.frames.is_empty() {
+            return None;
+        }
+        let n = self.frames.len();
+        // Two full sweeps: the first clears reference bits, the second is
+        // guaranteed to find any evictable frame.
+        for _ in 0..2 * n {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let Some(f) = self.frames[idx].as_mut() else {
+                continue;
+            };
+            if f.uncommitted {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            return Some(idx);
+        }
+        None
+    }
+
+    /// Marks every uncommitted frame committed (transaction committed; its
+    /// pages are now redo-protected by the WAL and therefore evictable).
+    pub fn commit_all(&mut self) {
+        for f in self.frames.iter_mut().flatten() {
+            f.uncommitted = false;
+        }
+    }
+
+    /// Forcibly installs a frame with exactly this state (clearing any
+    /// uncommitted mark), growing the pool if needed — never evicts. Used
+    /// for rollback restoration and failed-write-back reinstatement, where
+    /// triggering another eviction would be unsound or could recurse.
+    pub fn restore(&mut self, page_no: u32, data: Vec<u8>, dirty: bool) {
+        if let Some(&idx) = self.map.get(&page_no) {
+            let f = self.frames[idx].as_mut().expect("mapped frame");
+            f.data = data;
+            f.dirty = dirty;
+            f.uncommitted = false;
+            return;
+        }
+        let frame = Frame {
+            page_no,
+            data,
+            dirty,
+            uncommitted: false,
+            referenced: true,
+        };
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.frames[i] = Some(frame);
+                i
+            }
+            None => {
+                self.frames.push(Some(frame));
+                self.frames.len() - 1
+            }
+        };
+        self.map.insert(page_no, idx);
+    }
+
+    /// Evicts frames until the pool is back within capacity — called after
+    /// commit, when a transaction whose working set exceeded the pool has
+    /// just made its frames evictable. Returns dirty evictees for
+    /// write-back.
+    pub fn shrink_to_capacity(&mut self) -> Vec<(u32, Vec<u8>)> {
+        let mut writebacks = Vec::new();
+        while self.map.len() > self.capacity {
+            let Some(victim) = self.pick_victim() else {
+                break;
+            };
+            let f = self.frames[victim].take().expect("victim frame");
+            self.map.remove(&f.page_no);
+            self.free_slots.push(victim);
+            self.counters.evictions += 1;
+            if f.dirty {
+                writebacks.push((f.page_no, f.data));
+            }
+        }
+        writebacks
+    }
+
+    /// Drops a page from the pool (rollback of a freshly allocated page).
+    pub fn remove(&mut self, page_no: u32) {
+        if let Some(idx) = self.map.remove(&page_no) {
+            self.frames[idx] = None;
+            self.free_slots.push(idx);
+        }
+    }
+
+    /// Returns copies of all dirty committed frames and marks them clean;
+    /// the checkpoint writes them to the database file. On checkpoint
+    /// failure the caller re-dirties them via [`BufferPool::redirty`].
+    pub fn take_dirty_committed(&mut self) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        for f in self.frames.iter_mut().flatten() {
+            if f.dirty && !f.uncommitted {
+                f.dirty = false;
+                out.push((f.page_no, f.data.clone()));
+            }
+        }
+        out.sort_by_key(|(no, _)| *no);
+        out
+    }
+
+    /// Re-marks pages dirty after a failed checkpoint flush.
+    pub fn redirty(&mut self, pages: &[(u32, Vec<u8>)]) {
+        for (no, _) in pages {
+            if let Some(&idx) = self.map.get(no) {
+                self.frames[idx].as_mut().expect("mapped frame").dirty = true;
+            }
+        }
+    }
+
+    /// Drops every frame without writing anything back — the crash half of
+    /// kill-and-reopen tests.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.free_slots.clear();
+        self.map.clear();
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(b: u8) -> Vec<u8> {
+        vec![b; 8]
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut bp = BufferPool::new(4);
+        assert!(bp.get(1).is_none());
+        bp.put(1, img(1), false, false);
+        assert_eq!(bp.get(1).unwrap(), img(1).as_slice());
+        let c = bp.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_at_capacity_prefers_unreferenced() {
+        let mut bp = BufferPool::new(2);
+        bp.put(1, img(1), false, false);
+        bp.put(2, img(2), false, false);
+        // Touch page 1 so its reference bit survives the first sweep.
+        bp.get(1);
+        bp.put(3, img(3), false, false);
+        assert_eq!(bp.len(), 2);
+        assert_eq!(bp.counters().evictions, 1);
+        assert!(bp.peek(3).is_some());
+    }
+
+    #[test]
+    fn dirty_committed_eviction_returns_writeback() {
+        let mut bp = BufferPool::new(1);
+        bp.put(1, img(1), true, false);
+        let wb = bp.put(2, img(2), false, false);
+        assert_eq!(wb, Some((1, img(1))));
+    }
+
+    #[test]
+    fn uncommitted_frames_are_not_stolen() {
+        let mut bp = BufferPool::new(2);
+        bp.put(1, img(1), true, true);
+        bp.put(2, img(2), true, true);
+        assert!(bp.put(3, img(3), true, true).is_none());
+        assert_eq!(bp.len(), 3, "pool grows rather than steal uncommitted");
+        assert_eq!(bp.counters().evictions, 0);
+        bp.commit_all();
+        bp.put(4, img(4), false, false);
+        assert_eq!(bp.counters().evictions, 1, "evictable after commit");
+    }
+
+    #[test]
+    fn take_dirty_committed_clears_and_redirty_restores() {
+        let mut bp = BufferPool::new(4);
+        bp.put(1, img(1), true, false);
+        bp.put(2, img(2), false, false);
+        bp.put(3, img(3), true, true);
+        let dirty = bp.take_dirty_committed();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, 1);
+        assert!(bp.take_dirty_committed().is_empty());
+        bp.redirty(&dirty);
+        assert_eq!(bp.take_dirty_committed().len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut bp = BufferPool::new(4);
+        bp.put(1, img(1), true, false);
+        bp.clear();
+        assert!(bp.is_empty());
+        assert!(bp.peek(1).is_none());
+    }
+}

@@ -1,0 +1,776 @@
+//! The pager: paged file + buffer pool + WAL, with per-operation
+//! transactions.
+//!
+//! Every mutating storage operation runs as one pager transaction: pages
+//! staged via [`Pager::write_page`] live only in the buffer pool (pinned
+//! un-evictable) until [`Pager::commit`] seals them, appends their images
+//! plus a commit record to the WAL and fsyncs. Only then do they become
+//! eligible to reach the database file — via eviction write-back or a
+//! [`Pager::checkpoint`], both of which are safe at any point after commit
+//! because redo from full-page images is idempotent.
+//!
+//! Recovery invariant: the database file plus the committed prefix of the
+//! WAL always reconstructs the state as of the last successful commit.
+//! [`Pager::open`] replays committed WAL batches into the file (repairing
+//! any torn page from a crashed checkpoint), fsyncs, and truncates the log.
+//!
+//! Fault sites (see [`crate::fault`]): `storage.wal.fsync` (commit
+//! durability), `storage.pager.write` (torn page write), and
+//! `storage.pager.read` (transient read error). All surface as the
+//! retryable [`StorageError::FaultInjected`].
+
+pub mod buffer_pool;
+pub mod page;
+pub mod wal;
+
+use crate::error::StorageError;
+use crate::fault::{self, FaultKind};
+use crate::io::IoStats;
+use buffer_pool::{BufferPool, PoolCounters};
+use page::{Page, PageType, DISK_PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use wal::{Wal, WalCounters};
+
+/// Fault site: physical page write to the database file (torn writes).
+pub const SITE_PAGER_WRITE: &str = "storage.pager.write";
+/// Fault site: physical page read from the database file.
+pub const SITE_PAGER_READ: &str = "storage.pager.read";
+
+const MAGIC: u64 = 0x4149_4d5f_5041_4745; // "AIM_PAGE"
+const VERSION: u32 = 1;
+
+/// Tuning knobs for a [`Pager`].
+#[derive(Debug, Clone, Copy)]
+pub struct PagerOptions {
+    /// Buffer pool capacity in frames (16 KiB each).
+    pub pool_frames: usize,
+    /// Auto-checkpoint once the WAL exceeds this many bytes.
+    pub wal_autocheckpoint_bytes: u64,
+}
+
+impl Default for PagerOptions {
+    fn default() -> Self {
+        Self {
+            pool_frames: 256,
+            wal_autocheckpoint_bytes: 4 << 20,
+        }
+    }
+}
+
+/// File metadata held on page 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Pages in the file, including page 0.
+    pub page_count: u32,
+    /// Head of the free-page chain (0 = empty).
+    pub freelist: u32,
+    /// First page of the catalog blob chain (0 = no catalog yet).
+    pub catalog_root: u32,
+}
+
+/// Physical-I/O and recovery counters for one pager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerCounters {
+    /// Pages physically read from the database file.
+    pub pages_read: u64,
+    /// Pages physically written to the database file.
+    pub pages_written: u64,
+    /// Successful checkpoints.
+    pub checkpoints: u64,
+    /// Auto-checkpoints that failed (state stays WAL-protected).
+    pub checkpoint_failures: u64,
+    /// Committed WAL batches applied by recovery at open.
+    pub recovered_batches: u64,
+    /// WAL records those batches contained.
+    pub recovered_records: u64,
+    /// Torn WAL tails discarded at open.
+    pub torn_tails_discarded: u64,
+    /// Page reads that failed checksum verification.
+    pub checksum_failures: u64,
+}
+
+/// Durable before-state of a page touched by the open transaction.
+#[derive(Debug)]
+enum Before {
+    Existing { data: Vec<u8>, dirty: bool },
+    Fresh,
+}
+
+#[derive(Debug)]
+struct Tx {
+    touched: BTreeMap<u32, Before>,
+    meta_before: Meta,
+}
+
+/// The pager.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    dir: PathBuf,
+    pool: BufferPool,
+    wal: Wal,
+    meta: Meta,
+    next_lsn: u64,
+    tx: Option<Tx>,
+    opts: PagerOptions,
+    counters: PagerCounters,
+}
+
+fn io_err(op: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("pager {op}: {e}"))
+}
+
+fn db_path(dir: &Path) -> PathBuf {
+    dir.join("aim.db")
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("aim.wal")
+}
+
+impl Pager {
+    /// Opens (creating if needed) the database under directory `dir`,
+    /// running crash recovery first: committed WAL batches are replayed
+    /// into `aim.db`, the file is fsynced and the log truncated.
+    pub fn open(dir: &Path, opts: PagerOptions) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("mkdir", e))?;
+        let mut counters = PagerCounters::default();
+        let mut next_lsn = 1;
+
+        let replayed = wal::replay(&wal_path(dir))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(db_path(dir))
+            .map_err(|e| io_err("open", e))?;
+
+        if !replayed.batches.is_empty() {
+            for (lsn, pages) in &replayed.batches {
+                next_lsn = next_lsn.max(lsn + 1);
+                for (no, img) in pages {
+                    write_at(&mut file, *no, img)?;
+                    counters.pages_written += 1;
+                }
+                counters.recovered_batches += 1;
+            }
+            counters.recovered_records = replayed.records;
+            file.sync_data().map_err(|e| io_err("fsync", e))?;
+        }
+        if replayed.torn_tail {
+            counters.torn_tails_discarded += 1;
+        }
+
+        let len = file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", e))?;
+        let meta = if len == 0 {
+            let meta = Meta {
+                page_count: 1,
+                freelist: 0,
+                catalog_root: 0,
+            };
+            let mut p = meta_page(&meta);
+            p.seal();
+            write_at(&mut file, 0, &p.data)?;
+            counters.pages_written += 1;
+            file.sync_data().map_err(|e| io_err("fsync", e))?;
+            meta
+        } else {
+            let img = read_at(&mut file, 0)?;
+            counters.pages_read += 1;
+            let p = Page::from_bytes(img, 0)?;
+            parse_meta(&p)?
+        };
+
+        let mut wal = Wal::open(&wal_path(dir))?;
+        if wal.size() > 0 {
+            // Everything committed is now in the file; the log restarts.
+            wal.truncate()?;
+        }
+
+        Ok(Self {
+            file,
+            dir: dir.to_path_buf(),
+            pool: BufferPool::new(opts.pool_frames),
+            wal,
+            meta,
+            next_lsn,
+            tx: None,
+            opts,
+            counters,
+        })
+    }
+
+    /// Directory holding `aim.db` / `aim.wal`.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn meta(&self) -> Meta {
+        self.meta
+    }
+
+    /// Updates the catalog root pointer (takes effect at commit).
+    pub fn set_catalog_root(&mut self, no: u32) {
+        self.begin();
+        self.meta.catalog_root = no;
+    }
+
+    pub fn counters(&self) -> PagerCounters {
+        self.counters
+    }
+
+    pub fn pool_counters(&self) -> PoolCounters {
+        self.pool.counters()
+    }
+
+    pub fn wal_counters(&self) -> WalCounters {
+        let mut c = self.wal.counters;
+        c.records_replayed = self.counters.recovered_records;
+        c.torn_tails_discarded = self.counters.torn_tails_discarded;
+        c
+    }
+
+    /// True while a transaction has staged writes.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    fn begin(&mut self) -> &mut Tx {
+        let meta = self.meta;
+        self.tx.get_or_insert_with(|| Tx {
+            touched: BTreeMap::new(),
+            meta_before: meta,
+        })
+    }
+
+    // ---------------------------------------------------------------- reads
+
+    /// Reads a page, charging `io`: one logical page touch always, plus a
+    /// physical fault (`pages_faulted`) when the buffer pool misses and the
+    /// image comes from the database file (with checksum verification).
+    pub fn read_page(&mut self, no: u32, io: &mut IoStats) -> Result<Page, StorageError> {
+        io.pages_read += 1;
+        if let Some(data) = self.pool.get(no) {
+            return Ok(Page { data: data.to_vec() });
+        }
+        io.pages_faulted += 1;
+        if let Some(FaultKind::Fail) = fault::hit(SITE_PAGER_READ) {
+            return Err(StorageError::FaultInjected {
+                site: SITE_PAGER_READ.to_string(),
+            });
+        }
+        let img = read_at(&mut self.file, no)?;
+        self.counters.pages_read += 1;
+        let page = match Page::from_bytes(img, no) {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.checksum_failures += 1;
+                return Err(e);
+            }
+        };
+        if let Some((evicted_no, evicted)) = self.pool.put(no, page.data.clone(), false, false) {
+            self.write_back(evicted_no, evicted)?;
+        }
+        Ok(page)
+    }
+
+    // --------------------------------------------------------------- writes
+
+    /// Stages a page write into the open transaction. The image lives only
+    /// in the buffer pool (un-evictable) until [`Pager::commit`].
+    pub fn write_page(&mut self, no: u32, page: Page) -> Result<(), StorageError> {
+        self.record_before(no)?;
+        if let Some((evicted_no, evicted)) = self.pool.put(no, page.data, true, true) {
+            self.write_back(evicted_no, evicted)?;
+        }
+        Ok(())
+    }
+
+    fn record_before(&mut self, no: u32) -> Result<(), StorageError> {
+        self.begin();
+        let already = self
+            .tx
+            .as_ref()
+            .expect("begin() opened a tx")
+            .touched
+            .contains_key(&no);
+        if already {
+            return Ok(());
+        }
+        let before = if let Some(data) = self.pool.peek(no) {
+            Before::Existing {
+                data: data.to_vec(),
+                dirty: self.pool.is_dirty(no),
+            }
+        } else if no < self.tx.as_ref().expect("open tx").meta_before.page_count {
+            let img = read_at(&mut self.file, no)?;
+            self.counters.pages_read += 1;
+            Before::Existing {
+                data: img,
+                dirty: false,
+            }
+        } else {
+            Before::Fresh
+        };
+        self.tx
+            .as_mut()
+            .expect("open tx")
+            .touched
+            .insert(no, before);
+        Ok(())
+    }
+
+    /// Allocates a page: pops the freelist or extends the file. The page
+    /// is only durably allocated if the transaction commits.
+    pub fn allocate_page(&mut self) -> Result<u32, StorageError> {
+        self.begin();
+        if self.meta.freelist != 0 {
+            let no = self.meta.freelist;
+            let mut scratch = IoStats::new();
+            let free = self.read_page(no, &mut scratch)?;
+            self.record_before(no)?;
+            self.meta.freelist = free.next_page();
+            return Ok(no);
+        }
+        let no = self.meta.page_count;
+        self.meta.page_count += 1;
+        self.record_before(no)?;
+        Ok(no)
+    }
+
+    /// Returns a page to the freelist.
+    pub fn free_page(&mut self, no: u32) -> Result<(), StorageError> {
+        self.begin();
+        let mut p = Page::new(PageType::Free);
+        p.set_next_page(self.meta.freelist);
+        self.write_page(no, p)?;
+        self.meta.freelist = no;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- tx control
+
+    /// Commits the open transaction: seals every touched page, appends the
+    /// batch + commit record to the WAL and fsyncs. On failure the
+    /// transaction is rolled back (pool and meta restored to before-state)
+    /// and the error returned — the caller's in-memory structures must not
+    /// be updated.
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Ok(());
+        };
+        let meta_changed = self.meta != tx.meta_before;
+        if tx.touched.is_empty() && !meta_changed {
+            self.tx = None;
+            return Ok(());
+        }
+        if meta_changed {
+            let p = meta_page(&self.meta);
+            self.write_page(0, p)?;
+        }
+        let lsn = self.next_lsn;
+        let touched: Vec<u32> = self
+            .tx
+            .as_ref()
+            .expect("open tx")
+            .touched
+            .keys()
+            .copied()
+            .collect();
+        // Seal in place so the pool image, the WAL image and any future
+        // file write-back are bit-identical.
+        let mut images: Vec<(u32, Vec<u8>)> = Vec::with_capacity(touched.len());
+        for no in touched {
+            let data = self
+                .pool
+                .peek(no)
+                .expect("staged page resident in pool")
+                .to_vec();
+            let mut page = Page { data };
+            page.set_lsn(lsn);
+            page.seal();
+            self.pool.restore(no, page.data.clone(), true);
+            images.push((no, page.data));
+        }
+        let image_refs: Vec<(u32, &[u8])> =
+            images.iter().map(|(no, d)| (*no, d.as_slice())).collect();
+        if let Err(e) = self.wal.append_commit(lsn, &image_refs) {
+            self.rollback();
+            return Err(e);
+        }
+        self.pool.commit_all();
+        self.next_lsn += 1;
+        self.tx = None;
+        // A transaction larger than the pool grew it past capacity; now
+        // that its pages are WAL-protected, shed the excess.
+        for (no, data) in self.pool.shrink_to_capacity() {
+            self.write_back(no, data)?;
+        }
+        if self.wal.size() > self.opts.wal_autocheckpoint_bytes {
+            // Auto-checkpoint failure is non-fatal: the WAL keeps growing
+            // and keeps protecting every committed page.
+            if self.checkpoint().is_err() {
+                self.counters.checkpoint_failures += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards the open transaction, restoring every touched page and the
+    /// metadata to their pre-transaction state.
+    pub fn rollback(&mut self) {
+        let Some(tx) = self.tx.take() else {
+            return;
+        };
+        for (no, before) in tx.touched {
+            match before {
+                Before::Existing { data, dirty } => self.pool.restore(no, data, dirty),
+                Before::Fresh => self.pool.remove(no),
+            }
+        }
+        self.meta = tx.meta_before;
+    }
+
+    /// Flushes every dirty committed page to the database file, fsyncs,
+    /// and truncates the WAL. Refused while a transaction is open.
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.tx.is_some() {
+            return Err(StorageError::Io(
+                "checkpoint refused: transaction in flight".into(),
+            ));
+        }
+        let dirty = self.pool.take_dirty_committed();
+        if dirty.is_empty() && self.wal.size() == 0 {
+            return Ok(());
+        }
+        for (no, data) in &dirty {
+            if let Err(e) = self.write_file(*no, data) {
+                self.pool.redirty(&dirty);
+                return Err(e);
+            }
+        }
+        if let Err(e) = self.file.sync_data().map_err(|e| io_err("fsync", e)) {
+            self.pool.redirty(&dirty);
+            return Err(e);
+        }
+        self.wal.truncate()?;
+        self.counters.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Models a process crash: every buffered frame and any staged
+    /// transaction vanish; nothing is flushed. The pager must not be used
+    /// afterwards except to drop it — reopen the directory to recover.
+    pub fn simulate_crash(&mut self) {
+        self.pool.clear();
+        self.tx = None;
+    }
+
+    // ------------------------------------------------------------ internals
+
+    /// Eviction write-back of a committed dirty page. On failure the frame
+    /// is restored into the pool (growing it) so no committed data is lost.
+    fn write_back(&mut self, no: u32, data: Vec<u8>) -> Result<(), StorageError> {
+        if let Err(e) = self.write_file(no, &data) {
+            self.pool.restore(no, data, true);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Physical page write with the torn-write fault gate: an injected
+    /// failure writes only the first half of the page, exactly what a
+    /// crashed kernel leaves behind.
+    fn write_file(&mut self, no: u32, data: &[u8]) -> Result<(), StorageError> {
+        if let Some(FaultKind::Fail) = fault::hit(SITE_PAGER_WRITE) {
+            let off = u64::from(no) * DISK_PAGE_SIZE as u64;
+            let _ = self.file.seek(SeekFrom::Start(off));
+            let _ = self.file.write_all(&data[..DISK_PAGE_SIZE / 2]);
+            return Err(StorageError::FaultInjected {
+                site: SITE_PAGER_WRITE.to_string(),
+            });
+        }
+        write_at(&mut self.file, no, data)?;
+        self.counters.pages_written += 1;
+        Ok(())
+    }
+}
+
+fn write_at(file: &mut File, no: u32, data: &[u8]) -> Result<(), StorageError> {
+    debug_assert_eq!(data.len(), DISK_PAGE_SIZE);
+    let off = u64::from(no) * DISK_PAGE_SIZE as u64;
+    file.seek(SeekFrom::Start(off)).map_err(|e| io_err("seek", e))?;
+    file.write_all(data).map_err(|e| io_err("write", e))
+}
+
+fn read_at(file: &mut File, no: u32) -> Result<Vec<u8>, StorageError> {
+    let off = u64::from(no) * DISK_PAGE_SIZE as u64;
+    file.seek(SeekFrom::Start(off)).map_err(|e| io_err("seek", e))?;
+    let mut buf = vec![0u8; DISK_PAGE_SIZE];
+    file.read_exact(&mut buf).map_err(|e| io_err("read", e))?;
+    Ok(buf)
+}
+
+fn meta_page(meta: &Meta) -> Page {
+    let mut cell = Vec::with_capacity(24);
+    cell.extend_from_slice(&MAGIC.to_le_bytes());
+    cell.extend_from_slice(&VERSION.to_le_bytes());
+    cell.extend_from_slice(&meta.page_count.to_le_bytes());
+    cell.extend_from_slice(&meta.freelist.to_le_bytes());
+    cell.extend_from_slice(&meta.catalog_root.to_le_bytes());
+    let mut p = Page::new(PageType::Meta);
+    p.set_cells(std::slice::from_ref(&cell));
+    p
+}
+
+fn parse_meta(p: &Page) -> Result<Meta, StorageError> {
+    let corrupt = |d: &str| StorageError::Corrupt { detail: d.into() };
+    if p.page_type()? != PageType::Meta || p.nslots() != 1 {
+        return Err(corrupt("page 0 is not a meta page"));
+    }
+    let cell = p.cell(0);
+    if cell.len() != 24 {
+        return Err(corrupt("meta cell malformed"));
+    }
+    let magic = u64::from_le_bytes(cell[..8].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(corrupt("bad magic: not an aim-storage file"));
+    }
+    let version = u32::from_le_bytes(cell[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported file version {version}")));
+    }
+    Ok(Meta {
+        page_count: u32::from_le_bytes(cell[12..16].try_into().unwrap()),
+        freelist: u32::from_le_bytes(cell[16..20].try_into().unwrap()),
+        catalog_root: u32::from_le_bytes(cell[20..24].try_into().unwrap()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "aim-pager-test-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn data_page(fill: u8) -> Page {
+        let mut p = Page::new(PageType::Heap);
+        p.add_cell(&[fill; 64]).unwrap();
+        p
+    }
+
+    #[test]
+    fn create_write_commit_reopen() {
+        let dir = tmp("roundtrip");
+        {
+            let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+            let no = pg.allocate_page().unwrap();
+            assert_eq!(no, 1);
+            pg.write_page(no, data_page(7)).unwrap();
+            pg.commit().unwrap();
+            pg.checkpoint().unwrap();
+        }
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        assert_eq!(pg.meta().page_count, 2);
+        let mut io = IoStats::new();
+        let p = pg.read_page(1, &mut io).unwrap();
+        assert_eq!(p.cell(0), vec![7u8; 64].as_slice());
+        assert_eq!(io.pages_read, 1);
+        assert_eq!(io.pages_faulted, 1);
+    }
+
+    #[test]
+    fn uncheckpointed_commit_recovers_from_wal() {
+        let dir = tmp("wal-recovery");
+        {
+            let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+            let no = pg.allocate_page().unwrap();
+            pg.write_page(no, data_page(3)).unwrap();
+            pg.commit().unwrap();
+            // Crash: no checkpoint, pool dropped.
+            pg.simulate_crash();
+        }
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        assert!(pg.counters().recovered_batches >= 1);
+        assert_eq!(pg.meta().page_count, 2, "meta recovered from WAL");
+        let mut io = IoStats::new();
+        let p = pg.read_page(1, &mut io).unwrap();
+        assert_eq!(p.cell(0), vec![3u8; 64].as_slice());
+    }
+
+    #[test]
+    fn rollback_restores_pool_and_meta() {
+        let dir = tmp("rollback");
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        let no = pg.allocate_page().unwrap();
+        pg.write_page(no, data_page(1)).unwrap();
+        pg.commit().unwrap();
+        let count = pg.meta().page_count;
+
+        // Stage: overwrite page 1, allocate page 2, then roll back.
+        let fresh = pg.allocate_page().unwrap();
+        pg.write_page(no, data_page(9)).unwrap();
+        pg.write_page(fresh, data_page(8)).unwrap();
+        pg.rollback();
+        assert_eq!(pg.meta().page_count, count, "allocation rolled back");
+        let mut io = IoStats::new();
+        let p = pg.read_page(no, &mut io).unwrap();
+        assert_eq!(p.cell(0), vec![1u8; 64].as_slice(), "old content restored");
+    }
+
+    #[test]
+    fn freelist_reuses_pages() {
+        let dir = tmp("freelist");
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        let a = pg.allocate_page().unwrap();
+        let b = pg.allocate_page().unwrap();
+        pg.write_page(a, data_page(1)).unwrap();
+        pg.write_page(b, data_page(2)).unwrap();
+        pg.commit().unwrap();
+        pg.free_page(a).unwrap();
+        pg.commit().unwrap();
+        let c = pg.allocate_page().unwrap();
+        assert_eq!(c, a, "freed page is recycled");
+        pg.write_page(c, data_page(3)).unwrap();
+        pg.commit().unwrap();
+        assert_eq!(pg.meta().freelist, 0);
+    }
+
+    #[test]
+    fn tiny_pool_evicts_and_stays_correct() {
+        let dir = tmp("evict");
+        let opts = PagerOptions {
+            pool_frames: 2,
+            ..Default::default()
+        };
+        let mut pg = Pager::open(&dir, opts).unwrap();
+        let pages: Vec<u32> = (0..8)
+            .map(|i| {
+                let no = pg.allocate_page().unwrap();
+                pg.write_page(no, data_page(i as u8)).unwrap();
+                no
+            })
+            .collect();
+        pg.commit().unwrap();
+        let mut io = IoStats::new();
+        for (i, &no) in pages.iter().enumerate() {
+            let p = pg.read_page(no, &mut io).unwrap();
+            assert_eq!(p.cell(0), vec![i as u8; 64].as_slice());
+        }
+        assert!(pg.pool_counters().evictions > 0, "tiny pool must evict");
+        assert!(io.pages_faulted > 0, "evicted pages fault back in");
+    }
+
+    #[test]
+    fn torn_checkpoint_write_repaired_by_recovery() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let dir = tmp("torn-checkpoint");
+        {
+            let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+            let no = pg.allocate_page().unwrap();
+            pg.write_page(no, data_page(5)).unwrap();
+            pg.commit().unwrap();
+            crate::fault::arm(crate::fault::FaultPlan::new(3).fail(SITE_PAGER_WRITE, 0, 1));
+            let err = pg.checkpoint().unwrap_err();
+            assert!(err.is_injected(), "{err}");
+            crate::fault::disarm();
+            // The page in the file is now torn, but the WAL still holds it.
+            pg.simulate_crash();
+        }
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        let mut io = IoStats::new();
+        let p = pg.read_page(1, &mut io).unwrap();
+        assert_eq!(p.cell(0), vec![5u8; 64].as_slice(), "torn page repaired");
+        assert_eq!(pg.counters().checksum_failures, 0);
+    }
+
+    #[test]
+    fn wal_fsync_fault_rolls_back_commit() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let dir = tmp("fsync-fault");
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        let no = pg.allocate_page().unwrap();
+        pg.write_page(no, data_page(1)).unwrap();
+        pg.commit().unwrap();
+
+        crate::fault::arm(crate::fault::FaultPlan::new(3).fail(wal::SITE_WAL_FSYNC, 0, 1));
+        pg.write_page(no, data_page(2)).unwrap();
+        let err = pg.commit().unwrap_err();
+        crate::fault::disarm();
+        assert!(err.is_injected(), "{err}");
+        assert!(!pg.in_tx(), "failed commit leaves no open tx");
+        let mut io = IoStats::new();
+        let p = pg.read_page(no, &mut io).unwrap();
+        assert_eq!(p.cell(0), vec![1u8; 64].as_slice(), "old value intact");
+        // Retry works.
+        pg.write_page(no, data_page(2)).unwrap();
+        pg.commit().unwrap();
+    }
+
+    #[test]
+    fn read_fault_is_transient() {
+        let _g = crate::fault::tests::lock();
+        crate::fault::disarm();
+        let dir = tmp("read-fault");
+        let opts = PagerOptions {
+            pool_frames: 1,
+            ..Default::default()
+        };
+        let mut pg = Pager::open(&dir, opts).unwrap();
+        let a = pg.allocate_page().unwrap();
+        let b = pg.allocate_page().unwrap();
+        pg.write_page(a, data_page(1)).unwrap();
+        pg.write_page(b, data_page(2)).unwrap();
+        pg.commit().unwrap();
+        pg.checkpoint().unwrap();
+        let mut io = IoStats::new();
+        pg.read_page(b, &mut io).unwrap(); // page a no longer pooled
+        crate::fault::arm(crate::fault::FaultPlan::new(3).fail(SITE_PAGER_READ, 0, 1));
+        let err = pg.read_page(a, &mut io).unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        let p = pg.read_page(a, &mut io).unwrap();
+        crate::fault::disarm();
+        assert_eq!(p.cell(0), vec![1u8; 64].as_slice(), "retry succeeds");
+    }
+
+    #[test]
+    fn auto_checkpoint_truncates_wal() {
+        let dir = tmp("auto-checkpoint");
+        let opts = PagerOptions {
+            pool_frames: 64,
+            wal_autocheckpoint_bytes: 2 * DISK_PAGE_SIZE as u64,
+        };
+        let mut pg = Pager::open(&dir, opts).unwrap();
+        for i in 0..8 {
+            let no = pg.allocate_page().unwrap();
+            pg.write_page(no, data_page(i)).unwrap();
+            pg.commit().unwrap();
+        }
+        assert!(pg.counters().checkpoints > 0, "auto-checkpoint fired");
+        assert!(pg.wal_counters().bytes_written > 0);
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let dir = tmp("empty-commit");
+        let mut pg = Pager::open(&dir, PagerOptions::default()).unwrap();
+        pg.commit().unwrap();
+        assert_eq!(pg.wal_counters().fsyncs, 0);
+    }
+}

@@ -6,6 +6,7 @@
 //! charge write I/O, which is what the paper's index-maintenance overhead
 //! term `cost_u(q, i)` (Eq. 8) is computed from.
 
+use crate::backend::{memory_backend, StorageBackend, TaggedEntry};
 use crate::error::StorageError;
 use crate::index::SecondaryIndex;
 use crate::io::IoStats;
@@ -13,8 +14,15 @@ use crate::schema::{IndexDef, TableSchema};
 use crate::value::{Key, Row, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A table: clustered rows plus secondary indexes.
+///
+/// Rows always live in the in-memory `BTreeMap` — that is what queries
+/// read. The attached [`StorageBackend`] decides whether mutations also
+/// write through to paged durable storage (disk backend) and whether scan
+/// costs are measured from real page walks or charged from the simulated
+/// model (memory backend).
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
@@ -22,17 +30,90 @@ pub struct Table {
     indexes: BTreeMap<String, SecondaryIndex>,
     /// Running total of row bytes, for page-count estimation.
     total_row_bytes: u64,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl Table {
-    /// Creates an empty table with the given schema.
+    /// Creates an empty table with the given schema on the in-memory
+    /// backend.
     pub fn new(schema: TableSchema) -> Self {
         Self {
             schema,
             rows: BTreeMap::new(),
             indexes: BTreeMap::new(),
             total_row_bytes: 0,
+            backend: memory_backend(),
         }
+    }
+
+    /// Attaches a backend (builder style; used at table creation, before
+    /// any rows exist).
+    pub(crate) fn with_backend(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Re-points this table (and its indexes) at the in-memory backend.
+    /// Used when cloning a database: clones are volatile test substrates
+    /// and must not write through to the source's disk files.
+    pub(crate) fn detach_to_memory(&mut self) {
+        self.backend = memory_backend();
+        for ix in self.indexes.values_mut() {
+            ix.set_backend(memory_backend());
+        }
+    }
+
+    /// Rebuilds a table from backend-recovered state. Rows come from the
+    /// heap; index entries come from the index trees verbatim (they are
+    /// *not* re-derived, so divergence between tree and heap surfaces as
+    /// a consistency failure, not a silent self-heal).
+    pub(crate) fn load(
+        schema: TableSchema,
+        rows: Vec<Row>,
+        indexes: Vec<(IndexDef, Vec<Key>)>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, StorageError> {
+        let mut t = Table::new(schema).with_backend(backend.clone());
+        for row in rows {
+            if row.len() != t.schema.columns.len() {
+                return Err(StorageError::Corrupt {
+                    detail: format!(
+                        "table {}: recovered row arity {} != schema arity {}",
+                        t.schema.name,
+                        row.len(),
+                        t.schema.columns.len()
+                    ),
+                });
+            }
+            let pk = t.pk_of(&row);
+            let bytes: u64 = row.iter().map(Value::storage_size).sum();
+            if t.rows.insert(pk, row).is_some() {
+                return Err(StorageError::Corrupt {
+                    detail: format!("table {}: duplicate recovered PK", t.schema.name),
+                });
+            }
+            t.total_row_bytes += bytes;
+        }
+        for (def, entries) in indexes {
+            let key_positions = t.resolve_key_positions(&def)?;
+            let mut ix =
+                SecondaryIndex::new(def, key_positions, t.schema.primary_key.clone());
+            ix.set_backend(backend.clone());
+            for entry in entries {
+                ix.insert_entry(entry);
+            }
+            t.indexes.insert(ix.def().name.clone(), ix);
+        }
+        Ok(t)
+    }
+
+    /// Index entry per secondary index for `row`, tagged by index name —
+    /// what the backend persists into its index trees.
+    fn tagged_entries(&self, row: &Row) -> Vec<TaggedEntry> {
+        self.indexes
+            .values()
+            .map(|ix| (ix.def().name.clone(), ix.entry_for_row(row)))
+            .collect()
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -77,6 +158,8 @@ impl Table {
                 key: format!("{pk:?}"),
             });
         }
+        self.backend
+            .persist_insert(&self.schema.name, &pk, &row, &self.tagged_entries(&row))?;
         let bytes: u64 = row.iter().map(Value::storage_size).sum();
         io.charge_writes(1, bytes);
         for ix in self.indexes.values_mut() {
@@ -89,8 +172,19 @@ impl Table {
     }
 
     /// Deletes the row with primary key `pk`; returns it if present.
-    pub fn delete(&mut self, pk: &Key, io: &mut IoStats) -> Option<Row> {
-        let row = self.rows.remove(pk)?;
+    /// Fails (leaving the row in place, memory and disk agreeing) when the
+    /// backend cannot persist the delete.
+    pub fn delete(
+        &mut self,
+        pk: &Key,
+        io: &mut IoStats,
+    ) -> Result<Option<Row>, StorageError> {
+        let Some(row) = self.rows.get(pk).cloned() else {
+            return Ok(None);
+        };
+        self.backend
+            .persist_delete(&self.schema.name, pk, &self.tagged_entries(&row))?;
+        self.rows.remove(pk);
         let bytes: u64 = row.iter().map(Value::storage_size).sum();
         self.total_row_bytes -= bytes;
         io.charge_writes(1, bytes);
@@ -98,7 +192,7 @@ impl Table {
             ix.remove_row(&row);
             io.charge_writes(1, 64);
         }
-        Some(row)
+        Ok(Some(row))
     }
 
     /// Replaces the row with primary key `pk` by `new_row` (same PK).
@@ -114,6 +208,18 @@ impl Table {
                 "update must not change the primary key".into(),
             ));
         }
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        for ix in self.indexes.values() {
+            let before = ix.entry_for_row(&old);
+            let after = ix.entry_for_row(&new_row);
+            if before != after {
+                removed.push((ix.def().name.clone(), before));
+                added.push((ix.def().name.clone(), after));
+            }
+        }
+        self.backend
+            .persist_update(&self.schema.name, pk, &new_row, &removed, &added)?;
         let old_bytes: u64 = old.iter().map(Value::storage_size).sum();
         let new_bytes: u64 = new_row.iter().map(Value::storage_size).sum();
         io.charge_writes(1, new_bytes);
@@ -133,14 +239,8 @@ impl Table {
 
     // -------------------------------------------------------------- indexes
 
-    /// Creates and populates a secondary index.
-    pub fn create_index(&mut self, def: IndexDef, io: &mut IoStats) -> Result<(), StorageError> {
-        if self.indexes.contains_key(&def.name) {
-            return Err(StorageError::DuplicateIndex {
-                table: self.schema.name.clone(),
-                index: def.name,
-            });
-        }
+    /// Resolves an index definition's column names to row positions.
+    fn resolve_key_positions(&self, def: &IndexDef) -> Result<Vec<usize>, StorageError> {
         let mut key_positions = Vec::with_capacity(def.columns.len());
         for col in &def.columns {
             let pos = self.schema.column_index(col).ok_or_else(|| {
@@ -157,10 +257,27 @@ impl Table {
             }
             key_positions.push(pos);
         }
+        Ok(key_positions)
+    }
+
+    /// Creates and populates a secondary index. The build is staged in
+    /// memory, persisted as one backend transaction, and only then
+    /// installed — a persist failure leaves no trace of the index.
+    pub fn create_index(&mut self, def: IndexDef, io: &mut IoStats) -> Result<(), StorageError> {
+        if self.indexes.contains_key(&def.name) {
+            return Err(StorageError::DuplicateIndex {
+                table: self.schema.name.clone(),
+                index: def.name,
+            });
+        }
+        let key_positions = self.resolve_key_positions(&def)?;
         let mut ix = SecondaryIndex::new(def, key_positions, self.schema.primary_key.clone());
+        ix.set_backend(self.backend.clone());
         for row in self.rows.values() {
             ix.insert_row(row);
         }
+        let entries: Vec<Key> = ix.entries().cloned().collect();
+        self.backend.persist_create_index(ix.def(), &entries)?;
         // Building an index reads the whole table and writes the new tree.
         io.charge_sequential(self.total_row_bytes);
         io.charge_writes(self.rows.len() as u64, ix.size_bytes());
@@ -170,13 +287,19 @@ impl Table {
 
     /// Drops a secondary index.
     pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, StorageError> {
-        self.indexes
-            .remove(name)
-            .map(|ix| ix.def().clone())
-            .ok_or_else(|| StorageError::UnknownIndex {
+        if !self.indexes.contains_key(name) {
+            return Err(StorageError::UnknownIndex {
                 table: self.schema.name.clone(),
                 index: name.to_string(),
-            })
+            });
+        }
+        self.backend.persist_drop_index(&self.schema.name, name)?;
+        Ok(self
+            .indexes
+            .remove(name)
+            .expect("checked above")
+            .def()
+            .clone())
     }
 
     /// Looks up an index by name.
@@ -198,22 +321,30 @@ impl Table {
 
     // ---------------------------------------------------------------- scans
 
-    /// Full clustered scan in PK order.
+    /// Full clustered scan in PK order. On a disk backend the cost is
+    /// measured from the real heap-chain walk; otherwise the simulated
+    /// model is charged.
     pub fn scan_all(&self, io: &mut IoStats) -> impl Iterator<Item = &Row> {
-        io.charge_seek();
-        io.charge_sequential(self.total_row_bytes);
-        io.charge_rows(self.rows.len() as u64);
+        if !self.backend.account_full_scan(&self.schema.name, io) {
+            io.charge_seek();
+            io.charge_sequential(self.total_row_bytes);
+            io.charge_rows(self.rows.len() as u64);
+        }
         self.rows.values()
     }
 
-    /// Point lookup by full primary key. Charges one seek.
+    /// Point lookup by full primary key. Charges one seek (simulated) or
+    /// the measured PK-tree descent plus heap fetch (disk backend).
     pub fn pk_lookup(&self, pk: &Key, io: &mut IoStats) -> Option<&Row> {
-        io.charge_seek();
-        let row = self.rows.get(pk);
-        if row.is_some() {
-            io.charge_rows(1);
+        if !self.backend.account_pk_lookup(&self.schema.name, pk, io) {
+            io.charge_seek();
+            let row = self.rows.get(pk);
+            if row.is_some() {
+                io.charge_rows(1);
+            }
+            return row;
         }
-        row
+        self.rows.get(pk)
     }
 
     /// Range scan on a PK *prefix*: all rows whose leading PK columns equal
@@ -225,16 +356,24 @@ impl Table {
         io: &mut IoStats,
     ) -> Vec<&Row> {
         let (lower, upper) = crate::value::prefix_range_bounds(prefix, next_col_range);
-        io.charge_seek();
+        let measured = self.backend.account_pk_range(
+            &self.schema.name,
+            lower.as_ref(),
+            upper.as_ref(),
+            io,
+        );
         let mut out = Vec::new();
         let mut bytes = 0u64;
         for row in self.rows.range((lower, upper)).map(|(_, r)| r) {
             bytes += row.iter().map(Value::storage_size).sum::<u64>();
             out.push(row);
         }
-        io.charge_rows(out.len() as u64);
-        if bytes > 0 {
-            io.charge_sequential(bytes);
+        if !measured {
+            io.charge_seek();
+            io.charge_rows(out.len() as u64);
+            if bytes > 0 {
+                io.charge_sequential(bytes);
+            }
         }
         out
     }
@@ -288,7 +427,7 @@ mod tests {
         t.insert(row(2, 20, "y"), &mut io).unwrap();
         assert_eq!(t.row_count(), 2);
         assert!(t.pk_lookup(&vec![Value::Int(1)], &mut io).is_some());
-        assert!(t.delete(&vec![Value::Int(1)], &mut io).is_some());
+        assert!(t.delete(&vec![Value::Int(1)], &mut io).unwrap().is_some());
         assert_eq!(t.row_count(), 1);
         assert!(t.pk_lookup(&vec![Value::Int(1)], &mut io).is_none());
     }
@@ -323,7 +462,7 @@ mod tests {
         t.insert(row(1, 10, "x"), &mut io).unwrap();
         t.insert(row(2, 20, "y"), &mut io).unwrap();
         assert_eq!(t.index("ix_a").unwrap().len(), 2);
-        t.delete(&vec![Value::Int(1)], &mut io);
+        t.delete(&vec![Value::Int(1)], &mut io).unwrap();
         assert_eq!(t.index("ix_a").unwrap().len(), 1);
     }
 
@@ -435,7 +574,7 @@ mod tests {
         t.insert(row(1, 10, "hello"), &mut io).unwrap();
         let b = t.data_bytes();
         assert!(b > 0);
-        t.delete(&vec![Value::Int(1)], &mut io);
+        t.delete(&vec![Value::Int(1)], &mut io).unwrap();
         assert_eq!(t.data_bytes(), 0);
     }
 }

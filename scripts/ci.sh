@@ -30,4 +30,10 @@ echo "== explain smoke (explainability & introspection gate)"
     "SELECT id FROM orders WHERE customer_id = 7" \
     | ./target/release/explain_smoke
 
+echo "== storage smoke (disk-engine durability & costing gate)"
+# Runs the full bench_storage harness in smoke mode against a scratch
+# directory: memory-vs-disk result equality, crash/reopen durability with
+# index survival, buffer-pool + WAL traffic, and est-vs-actual page error.
+./target/release/bench_storage smoke
+
 echo "== ci: all checks passed"
