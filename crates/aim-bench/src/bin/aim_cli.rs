@@ -36,7 +36,7 @@
 //!     continuous tpch --windows 3 --serve 7800
 //! ```
 
-use aim_core::{AimConfig, BackendSpec, TuningSession};
+use aim_core::{AimConfig, BackendSpec, SelectionStrategy, TuningSession};
 use aim_exec::{Engine, HypoConfig};
 use aim_monitor::{SelectionConfig, WorkloadMonitor};
 use aim_sql::parse_statement;
@@ -44,19 +44,37 @@ use aim_storage::{Database, Value};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--selection greedy|lp` applies to every mode (REPL \tune, --profile,
+    // explain --tune, continuous): greedy knapsack (default) or the
+    // LP-relaxation selector.
+    let mut strategy = SelectionStrategy::Greedy;
+    if let Some(i) = args.iter().position(|a| a == "--selection") {
+        strategy = match args.get(i + 1).map(String::as_str) {
+            Some("greedy") => SelectionStrategy::Greedy,
+            Some("lp") => SelectionStrategy::Lp,
+            other => {
+                eprintln!(
+                    "--selection must be 'greedy' or 'lp', got {:?}",
+                    other.unwrap_or("")
+                );
+                std::process::exit(2);
+            }
+        };
+        args.drain(i..(i + 2).min(args.len()));
+    }
     if let Some(i) = args.iter().position(|a| a == "--profile") {
         let workload = args.get(i + 1).map(String::as_str).unwrap_or("demo");
-        run_profile(workload);
+        run_profile(workload, strategy);
         return;
     }
     match args.first().map(String::as_str) {
         Some("explain") => {
-            run_explain(&args[1..]);
+            run_explain(&args[1..], strategy);
             return;
         }
         Some("continuous") => {
-            run_continuous(&args[1..]);
+            run_continuous(&args[1..], strategy);
             return;
         }
         _ => {}
@@ -78,6 +96,7 @@ fn main() {
             ..Default::default()
         })
         .backend(backend)
+        .selection_strategy(strategy)
         .session();
     let mut db = session.provision_database().unwrap_or_else(|e| {
         eprintln!("failed to open database: {e}");
@@ -309,7 +328,7 @@ fn workload_fixture(
 /// AIM indexes compete), `--hypo` adds the top generated candidates as
 /// hypothetical indexes, `--execute` runs the query and appends measured
 /// actuals, `--json` emits the machine-readable form.
-fn run_explain(args: &[String]) {
+fn run_explain(args: &[String], strategy: SelectionStrategy) {
     let mut json = false;
     let mut execute = false;
     let mut tune = false;
@@ -369,6 +388,7 @@ fn run_explain(args: &[String]) {
                 min_benefit: 0.5,
                 ..Default::default()
             })
+            .selection_strategy(strategy)
             .session();
         match session.run(&mut db, &monitor) {
             Ok(o) => eprintln!("tuned: {} indexes created, {} rejected", o.created.len(), o.rejected.len()),
@@ -422,7 +442,7 @@ fn run_explain(args: &[String]) {
 /// ledger recording, optionally exposing the live introspection endpoint.
 /// Writes `results/decision_ledger.json` and a telemetry artifact on
 /// completion.
-fn run_continuous(args: &[String]) {
+fn run_continuous(args: &[String], strategy: SelectionStrategy) {
     let mut workload = "demo".to_string();
     let mut windows = 3usize;
     let mut serve: Option<u16> = None;
@@ -468,6 +488,7 @@ fn run_continuous(args: &[String]) {
             ..Default::default()
         })
         .ledger(true)
+        .selection_strategy(strategy)
         .session();
     // The /ledger endpoint reads through a clone: TuningSession clones
     // share one ledger.
@@ -536,7 +557,7 @@ fn run_continuous(args: &[String]) {
 
 /// `--profile <workload>`: execute the workload once, run one tuning pass
 /// with telemetry on, and print the phase tree + counters.
-fn run_profile(workload: &str) {
+fn run_profile(workload: &str, strategy: SelectionStrategy) {
     let engine = Engine::new();
     let mut monitor = WorkloadMonitor::new();
     let (mut db, weighted) = workload_fixture(workload, &engine, &mut monitor);
@@ -556,6 +577,7 @@ fn run_profile(workload: &str) {
             min_benefit: 0.5,
             ..Default::default()
         })
+        .selection_strategy(strategy)
         .session();
     let result = session.run(&mut db, &monitor);
     let wall = wall.elapsed();

@@ -76,12 +76,14 @@ pub mod ledger;
 pub mod metadata;
 pub mod partial_order;
 pub mod ranking;
+pub mod selection_lp;
 pub mod session;
 pub mod sharding;
 pub mod validate;
 
 pub use advisor::{
-    config_size, defs_to_config, workload_cost, AimAdvisor, IndexAdvisor, WeightedQuery,
+    config_size, defs_to_config, workload_cost, workload_cost_batch, AimAdvisor, IndexAdvisor,
+    WeightedQuery,
 };
 pub use candidates::{
     generate_candidates, try_generate_candidates, CandidateGenConfig, CandidateIndex,
@@ -92,15 +94,16 @@ pub use continuous::{
     RegressionDetector, AIM_INDEX_PREFIX,
 };
 pub use backend::BackendSpec;
-pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex};
+pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex, SelectionStrategy};
 pub use error::AimError;
 pub use ledger::{CandidateRecord, DecisionLedger, LedgerEvent};
 pub use metadata::{analyze_structure, FactorGroup, OpClass, QueryStructure, TableInfo};
 pub use partial_order::{merge_partial_orders, PartialOrder};
 pub use ranking::{
-    knapsack_select, knapsack_select_explained, rank_candidates, rank_candidates_with,
-    try_rank_candidates_with, KnapsackDecision, RankedCandidate,
+    knapsack_select, knapsack_select_explained, rank_candidates, rank_candidates_unbatched,
+    rank_candidates_with, try_rank_candidates_with, KnapsackDecision, RankedCandidate,
 };
+pub use selection_lp::{refine_selection, LpDecision, LpOutcome};
 pub use session::{AimConfigBuilder, CancelToken, RetryPolicy, RunCtl, TuningSession};
 pub use sharding::ShardingProfile;
 pub use validate::{

@@ -16,7 +16,10 @@
 use crate::candidates::CandidateIndex;
 use crate::error::AimError;
 use crate::session::RunCtl;
-use aim_exec::{estimate_statement_cost, CostModel, ExecError, HypoConfig, HypotheticalIndex};
+use aim_exec::{
+    estimate_statement_cost, estimate_statement_cost_batch, CostModel, ExecError, HypoConfig,
+    HypotheticalIndex,
+};
 use aim_monitor::WorkloadQuery;
 use aim_sql::ast::{Select, SelectItem, Statement};
 use aim_sql::normalize::QueryFingerprint;
@@ -120,16 +123,151 @@ fn cost_or(
     }
 }
 
-/// Evaluates one workload query against all candidates (Eqs. 7–8). All
-/// what-if costing goes through the process-global [`aim_exec::whatif`]
-/// cache, so repeated subexpressions — the empty config, the
-/// "config minus one index" probes of the marginal loop, and the entire
-/// workload on a second tuning pass — are answered without replanning.
+/// Evaluates one workload query against all candidates (Eqs. 7–8) using
+/// *batched* what-if costing: the `[empty, relevant]` pair, the marginal
+/// "config minus one index" probes, and the DML maintenance singletons each
+/// go through one [`aim_exec::whatif::WhatIfCache::eval_select_batch`] /
+/// [`aim_exec::estimate_statement_cost_batch`] call, so parsing, binding
+/// enumeration and selectivity derivation are shared across the configs
+/// instead of redone per config. Costs are consumed in exactly the order
+/// the sequential reference ([`try_eval_query_sequential`]) produced them,
+/// so the output is bit-identical (a property test enforces this).
 ///
 /// With `strict` set, injected (transient) failures propagate instead of
 /// degrading to ∞/0 fallbacks — the resilient session retries them; the
 /// numeric behaviour on the success path is unchanged either way.
 fn try_eval_query(
+    db: &Database,
+    wq: &WorkloadQuery,
+    candidates: &[CandidateIndex],
+    hypos: &[(usize, Arc<HypotheticalIndex>)],
+    empty_cfg: &HypoConfig,
+    cm: &CostModel,
+    strict: bool,
+) -> Result<QueryContribution, AimError> {
+    let cache = aim_exec::whatif::global();
+    let mut out = QueryContribution {
+        fingerprint: wq.stats.fingerprint,
+        benefit: Vec::new(),
+        maintenance: Vec::new(),
+    };
+
+    // ---------------------------------------------------- benefit (Eq. 7)
+    if let Some(select) = benefit_select(&wq.stats.exemplar) {
+        // Candidates generated for this query.
+        let relevant: Vec<(usize, Arc<HypotheticalIndex>)> = hypos
+            .iter()
+            .filter(|(i, _)| candidates[*i].sources.contains(&wq.stats.fingerprint))
+            .map(|(i, h)| (*i, Arc::clone(h)))
+            .collect();
+        if !relevant.is_empty() {
+            let cfg =
+                HypoConfig::shared(relevant.iter().map(|(_, h)| Arc::clone(h)).collect());
+            // One planner pass for the empty baseline and the full relevant
+            // config; slot order matches the sequential evaluation order,
+            // which keeps fault-injection sites firing in the same order.
+            let mut pair = cache
+                .eval_select_batch(db, &select, &[empty_cfg, &cfg], cm)
+                .into_iter();
+            let cost_empty = cost_or(
+                pair.next().expect("batch returns one slot per config").map(|e| e.cost),
+                f64::INFINITY,
+                strict,
+            )?;
+            let entry = match pair.next().expect("batch returns one slot per config") {
+                Ok(e) => Some(e),
+                Err(e) if strict && e.is_injected() => {
+                    return Err(AimError::from_exec("ranking", e));
+                }
+                Err(_) => None,
+            };
+            if let Some(entry) = entry {
+                let cost_with = entry.cost;
+                if cost_empty.is_finite() && cost_empty > 0.0 && cost_with < cost_empty {
+                    let u_plus = (cost_empty - cost_with) / cost_empty * wq.stats.total_cpu;
+                    let used: Vec<usize> = entry
+                        .used_hypos
+                        .iter()
+                        .filter_map(|dk| {
+                            relevant
+                                .iter()
+                                .find(|(_, h)| h.def_key() == *dk)
+                                .map(|(i, _)| *i)
+                        })
+                        .collect();
+                    if !used.is_empty() {
+                        // Shares proportional to marginal contribution: all
+                        // "config minus one index" probes priced in one
+                        // batch (they differ only in access-path pricing).
+                        let withouts: Vec<HypoConfig> = used
+                            .iter()
+                            .map(|&uix| {
+                                HypoConfig::shared(
+                                    relevant
+                                        .iter()
+                                        .filter(|(i, _)| *i != uix)
+                                        .map(|(_, h)| Arc::clone(h))
+                                        .collect(),
+                                )
+                            })
+                            .collect();
+                        let without_refs: Vec<&HypoConfig> = withouts.iter().collect();
+                        let mut marginals: Vec<f64> = Vec::with_capacity(used.len());
+                        for res in cache.eval_select_batch(db, &select, &without_refs, cm) {
+                            let c_without =
+                                cost_or(res.map(|e| e.cost), cost_empty, strict)?;
+                            marginals.push((c_without - cost_with).max(0.0));
+                        }
+                        let total: f64 = marginals.iter().sum();
+                        for (&uix, &m) in used.iter().zip(&marginals) {
+                            let share = if total > 0.0 {
+                                m / total
+                            } else {
+                                1.0 / used.len() as f64
+                            };
+                            out.benefit.push((uix, share * u_plus));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ maintenance (Eq. 8)
+    if wq.stats.is_dml() {
+        let stmt = &wq.stats.exemplar;
+        let base = cost_or(estimate_statement_cost(db, stmt, empty_cfg, cm), 0.0, strict)?;
+        if base > 0.0 {
+            // Only indexes on the written table can be affected.
+            let affected: Vec<(usize, Arc<HypotheticalIndex>)> = hypos
+                .iter()
+                .filter(|(_, h)| written_table(stmt) == Some(h.def.table.as_str()))
+                .map(|(i, h)| (*i, Arc::clone(h)))
+                .collect();
+            if !affected.is_empty() {
+                let ones: Vec<HypoConfig> = affected
+                    .iter()
+                    .map(|(_, h)| HypoConfig::shared(vec![Arc::clone(h)]))
+                    .collect();
+                let one_refs: Vec<&HypoConfig> = ones.iter().collect();
+                let results = estimate_statement_cost_batch(db, stmt, &one_refs, cm);
+                for ((i, _), res) in affected.iter().zip(results) {
+                    let with = cost_or(res, base, strict)?;
+                    let overhead = ((with - base) / base).max(0.0) * wq.stats.total_cpu;
+                    out.maintenance.push((*i, overhead));
+                }
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+/// The original one-config-at-a-time evaluation of a workload query — the
+/// bit-identity *reference* for the batched [`try_eval_query`]. Kept public
+/// (via [`rank_candidates_unbatched`]) so property tests and the selection
+/// benchmark can compare the two paths; not used on the hot path.
+fn try_eval_query_sequential(
     db: &Database,
     wq: &WorkloadQuery,
     candidates: &[CandidateIndex],
@@ -286,7 +424,22 @@ pub fn rank_candidates_with(
     cm: &CostModel,
     workers: usize,
 ) -> Vec<RankedCandidate> {
-    rank_core(db, workload, candidates, cm, workers, &RunCtl::none(), false)
+    rank_core(db, workload, candidates, cm, workers, &RunCtl::none(), false, true)
+        .expect("lenient ranking without deadline or cancel cannot fail")
+}
+
+/// [`rank_candidates_with`] evaluated one config at a time — the pre-batching
+/// reference implementation. The batched hot path must produce bit-identical
+/// output (property tests and the selection benchmark compare the two); this
+/// also serves as the sequential baseline for speedup measurements.
+pub fn rank_candidates_unbatched(
+    db: &Database,
+    workload: &[WorkloadQuery],
+    candidates: &[CandidateIndex],
+    cm: &CostModel,
+    workers: usize,
+) -> Vec<RankedCandidate> {
+    rank_core(db, workload, candidates, cm, workers, &RunCtl::none(), false, false)
         .expect("lenient ranking without deadline or cancel cannot fail")
 }
 
@@ -303,9 +456,10 @@ pub fn try_rank_candidates_with(
     workers: usize,
     ctl: &RunCtl,
 ) -> Result<Vec<RankedCandidate>, AimError> {
-    rank_core(db, workload, candidates, cm, workers, ctl, true)
+    rank_core(db, workload, candidates, cm, workers, ctl, true, true)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rank_core(
     db: &Database,
     workload: &[WorkloadQuery],
@@ -314,7 +468,9 @@ fn rank_core(
     workers: usize,
     ctl: &RunCtl,
     strict: bool,
+    batched: bool,
 ) -> Result<Vec<RankedCandidate>, AimError> {
+    let eval = if batched { try_eval_query } else { try_eval_query_sequential };
     // Build hypothetical indexes once, shared; drop unbuildable candidates.
     let mut hypos: Vec<(usize, Arc<HypotheticalIndex>)> = Vec::new();
     for (i, c) in candidates.iter().enumerate() {
@@ -330,7 +486,7 @@ fn rank_core(
         let mut out = Vec::with_capacity(workload.len());
         for wq in workload {
             ctl.check("ranking")?;
-            out.push(try_eval_query(db, wq, candidates, &hypos, &empty_cfg, cm, strict)?);
+            out.push(eval(db, wq, candidates, &hypos, &empty_cfg, cm, strict)?);
         }
         out
     } else {
@@ -347,7 +503,7 @@ fn rank_core(
                             // Workers observe aborts between queries, so a
                             // cancel/deadline lands within one query.
                             ctl.check("ranking")?;
-                            out.push(try_eval_query(
+                            out.push(eval(
                                 db, wq, candidates, hypos, empty_cfg, cm, strict,
                             )?);
                         }
@@ -885,6 +1041,22 @@ mod tests {
         let parallel = rank_candidates_with(&db, &w, &cands, &cm, 4);
         assert!(!sequential.is_empty());
         assert_bit_identical(&sequential, &parallel);
+    }
+
+    #[test]
+    fn batched_ranking_is_bit_identical_to_unbatched() {
+        let mut db = db();
+        let w = mixed_workload(&mut db);
+        let cands = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        let cm = CostModel::default();
+        let cache = aim_exec::whatif::global();
+        // Cache off so both paths genuinely plan (no cross-path leakage).
+        cache.set_enabled(false);
+        let batched = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        let sequential = rank_candidates_unbatched(&db, &w, &cands, &cm, 1);
+        cache.set_enabled(true);
+        assert!(!batched.is_empty());
+        assert_bit_identical(&sequential, &batched);
     }
 
     #[test]

@@ -360,10 +360,7 @@ mod tests {
         let db = db();
         let h =
             HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
-        let cfg = HypoConfig {
-            indexes: vec![h.into()],
-            include_materialized: true,
-        };
+        let cfg = HypoConfig::overlay(vec![h]);
         let ex = explain_sql(&db, "SELECT a, id FROM t WHERE a = 5", &cfg);
         let chosen = ex.nodes[0].chosen();
         assert!(chosen.hypothetical);

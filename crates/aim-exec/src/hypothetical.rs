@@ -7,7 +7,7 @@
 //! role HypoPG plays for PostgreSQL in the paper's experiments.
 
 use aim_storage::{Database, IndexDef, TableStats};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A hypothetical index: definition plus estimated physical footprint.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,13 +91,27 @@ impl HypotheticalIndex {
 /// configurations (the ranking marginal-attribution loop, baseline
 /// enumeration) shares one allocation per hypothetical index instead of
 /// deep-cloning key-column vectors for every what-if call.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct HypoConfig {
     pub indexes: Vec<Arc<HypotheticalIndex>>,
     /// If false, the planner ignores materialized secondary indexes and
     /// sees *only* the hypothetical ones (used when advisors evaluate
     /// configurations from scratch on an unindexed database).
     pub include_materialized: bool,
+    /// Lazily memoized [`Self::canonical_key`]. Ranking and batched costing
+    /// hash the same configuration once per statement (or once per batch
+    /// member); without the memo the sort-and-FNV walk reruns every time.
+    /// Invariant: the public fields must not be mutated after the first
+    /// `canonical_key()` call — build the config fully, then cost with it.
+    key_memo: OnceLock<u64>,
+}
+
+impl PartialEq for HypoConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is derived state and must not affect equality (a config
+        // that has been hashed still equals a fresh identical one).
+        self.indexes == other.indexes && self.include_materialized == other.include_materialized
+    }
 }
 
 impl HypoConfig {
@@ -106,6 +120,7 @@ impl HypoConfig {
         Self {
             indexes: Vec::new(),
             include_materialized: true,
+            key_memo: OnceLock::new(),
         }
     }
 
@@ -114,6 +129,7 @@ impl HypoConfig {
         Self {
             indexes: indexes.into_iter().map(Arc::new).collect(),
             include_materialized: false,
+            key_memo: OnceLock::new(),
         }
     }
 
@@ -123,6 +139,17 @@ impl HypoConfig {
         Self {
             indexes,
             include_materialized: false,
+            key_memo: OnceLock::new(),
+        }
+    }
+
+    /// Configuration overlaying the given hypothetical indexes on top of
+    /// whatever is already materialized (the HypoPG-style usage).
+    pub fn overlay(indexes: Vec<HypotheticalIndex>) -> Self {
+        Self {
+            indexes: indexes.into_iter().map(Arc::new).collect(),
+            include_materialized: true,
+            key_memo: OnceLock::new(),
         }
     }
 
@@ -144,19 +171,26 @@ impl HypoConfig {
     /// identities + the materialized-index visibility flag). Two configs
     /// with the same key cost every statement identically, so this is the
     /// config component of the what-if cache key.
+    ///
+    /// The key is memoized on first call: ranking asks for it once per
+    /// statement it costs a config against, and batched evaluation asks
+    /// once per batch member. Do not mutate `indexes` /
+    /// `include_materialized` after calling this.
     pub fn canonical_key(&self) -> u64 {
-        let mut keys: Vec<u64> = self.indexes.iter().map(|h| h.def_key()).collect();
-        keys.sort_unstable();
-        keys.dedup();
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for k in keys {
-            for b in k.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x100_0000_01b3);
+        *self.key_memo.get_or_init(|| {
+            let mut keys: Vec<u64> = self.indexes.iter().map(|h| h.def_key()).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for k in keys {
+                for b in k.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
             }
-        }
-        h ^= u64::from(self.include_materialized);
-        h
+            h ^= u64::from(self.include_materialized);
+            h
+        })
     }
 }
 
@@ -230,6 +264,27 @@ mod tests {
             HypotheticalIndex::build(&db, IndexDef::new("h", "missing", vec!["a".into()]))
                 .is_none()
         );
+    }
+
+    #[test]
+    fn canonical_key_is_memoized_and_ignored_by_equality() {
+        let db = db_with_rows(100);
+        let h = HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
+        let a = HypoConfig::only(vec![h.clone()]);
+        let b = HypoConfig::only(vec![h.clone()]);
+        // Hashing one side must not break equality with a fresh config.
+        let k1 = a.canonical_key();
+        assert_eq!(a, b);
+        assert_eq!(k1, a.canonical_key());
+        assert_eq!(k1, b.canonical_key());
+        // Clones carry the memo but stay equal and key-stable.
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert_eq!(c.canonical_key(), k1);
+        // The overlay constructor differs only in materialized visibility.
+        let o = HypoConfig::overlay(vec![h]);
+        assert!(o.include_materialized);
+        assert_ne!(o.canonical_key(), k1);
     }
 
     #[test]

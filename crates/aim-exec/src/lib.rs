@@ -62,8 +62,8 @@ pub use explain::{explain_select, ExplainAlternative, ExplainNode, ExplainPlan};
 pub use hypothetical::{HypoConfig, HypotheticalIndex};
 pub use iocheck::IoAccuracy;
 pub use planner::{
-    estimate_statement_cost, plan_select, AccessPath, EqSource, IndexChoice, IndexScan, Plan,
-    Planner, TableStep,
+    estimate_statement_cost, estimate_statement_cost_batch, plan_select, AccessPath, EqSource,
+    IndexChoice, IndexScan, Plan, Planner, TableStep,
 };
 pub use predicate::{JoinPred, PredicateAnalysis, Sarg, SargValue};
 pub use prepare::{bind_params, param_count};

@@ -15,8 +15,10 @@ use crate::hypothetical::HypoConfig;
 use crate::predicate::{PredicateAnalysis, Sarg, SargValue};
 use aim_sql::ast::{Expr, Select, SelectItem, Statement};
 use aim_storage::{ColumnStats, Database, Table, TableStats, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Bound;
+use std::rc::Rc;
 
 /// Maximum FROM-list size planned with exhaustive subset DP.
 pub const DP_TABLE_LIMIT: usize = 8;
@@ -205,6 +207,44 @@ struct CandidateIndex {
     clustered: bool,
 }
 
+/// Equality / range probe sources derived for one (table, bound-set).
+type SourceMaps = (BTreeMap<String, EqSource>, BTreeMap<String, RangeInfo>);
+
+/// Probe-source memo keyed by (table instance, bound-column bitmask).
+type SourceCache = RefCell<HashMap<(usize, u64), Rc<SourceMaps>>>;
+
+/// OR-branch base memo keyed by (table instance, materialized visibility).
+type OrBaseCache = RefCell<HashMap<(usize, bool), Rc<Vec<OrBranchBase>>>>;
+
+/// Best config-independent access path, keyed by (table instance,
+/// bound-column bitmask, outermost flag, materialized visibility).
+type BaseBestCache = RefCell<HashMap<(usize, u64, bool, bool), (AccessPath, f64)>>;
+
+/// Per-OR-branch context: probe-source maps plus the best *usable*
+/// config-independent (PK / materialized) branch index, if any.
+struct OrBranchBase {
+    eq_sources: BTreeMap<String, EqSource>,
+    ranges: BTreeMap<String, RangeInfo>,
+    base_best: Option<(IndexScan, f64)>,
+}
+
+/// Memoized config-independent planning state (interior mutability:
+/// planning takes `&self`). When one `Planner` is reused for many
+/// hypothetical configs via [`Planner::set_config`], everything here —
+/// probe-source derivation, predicate selectivity, and the best
+/// full-scan/PK/materialized access path — is computed once and shared;
+/// only per-hypo access-path pricing reruns per config. Keys carry the
+/// bound-table bitmask; base-path entries also key on the
+/// materialized-index visibility flag, the only non-hypo part of a
+/// `HypoConfig` that affects pricing.
+#[derive(Default)]
+struct PlanScratch {
+    sources: SourceCache,
+    selectivity: RefCell<HashMap<(usize, u64), f64>>,
+    base_best: BaseBestCache,
+    or_bases: OrBaseCache,
+}
+
 /// Planner context for one SELECT.
 pub struct Planner<'a> {
     db: &'a Database,
@@ -215,6 +255,7 @@ pub struct Planner<'a> {
     select: &'a Select,
     /// Referenced column names per table instance.
     referenced: Vec<BTreeSet<String>>,
+    scratch: PlanScratch,
 }
 
 impl<'a> Planner<'a> {
@@ -236,7 +277,18 @@ impl<'a> Planner<'a> {
             analysis,
             select,
             referenced,
+            scratch: PlanScratch::default(),
         })
+    }
+
+    /// Swaps the hypothetical configuration while keeping every
+    /// config-independent piece of planning state — binding, predicate
+    /// analysis, referenced-column sets, and the memoized probe-source /
+    /// selectivity / base-access-path caches. This is the batched what-if
+    /// entry point: prepare once, then `set_config` + [`Planner::plan`]
+    /// per config, paying only per-hypothetical access-path pricing.
+    pub fn set_config(&mut self, config: &'a HypoConfig) {
+        self.config = config;
     }
 
     /// Plans the SELECT and returns the cheapest plan found.
@@ -457,21 +509,26 @@ impl<'a> Planner<'a> {
         let stats = self.db.stats(&self.binder.tables()[t].table);
         let table_rows = table.row_count() as f64;
 
-        // Equality sources per column name and range constraints.
-        let (eq_sources, ranges) = self.sources_for(t, bound, table);
+        // Equality sources per column name and range constraints
+        // (config-independent, memoized across set_config reuse).
+        let sources = self.sources_cached(t, bound, table);
+        let (eq_sources, ranges) = (&sources.0, &sources.1);
 
         // Overall selectivity of every predicate on t (independent of path).
-        let full_sel = self.table_selectivity(t, bound, table, stats);
+        let full_sel = self.selectivity_cached(t, bound, table, stats);
         let rows_out = (table_rows * full_sel).min(table_rows);
 
-        let mut best_path = AccessPath::FullScan;
-        let mut best_cost = self
-            .cm
-            .full_scan_cost(table.data_bytes(), table_rows);
+        // Config-independent base: full scan vs PK vs materialized indexes.
+        // The fold order (full scan, PK, materialized, then hypotheticals,
+        // strict `<`) matches the historical single-list enumeration, so
+        // splitting the fold here is bit-identical.
+        let (mut best_path, mut best_cost) =
+            self.base_best(t, bound, outermost, table, stats, eq_sources, ranges);
 
-        for cand in self.candidate_indexes(t, table) {
+        // Per-config divergence: price this config's hypothetical indexes.
+        for cand in self.hypo_candidates(table) {
             let Some((scan, cost)) =
-                self.cost_index_candidate(t, table, stats, &cand, &eq_sources, &ranges, outermost)
+                self.cost_index_candidate(t, table, stats, &cand, eq_sources, ranges, outermost)
             else {
                 continue;
             };
@@ -498,6 +555,95 @@ impl<'a> Planner<'a> {
             rows_each: rows_out.max(0.0),
             cost_each: best_cost,
         })
+    }
+
+    /// Bound-table set as a bitmask cache key; `None` disables memoization
+    /// for the (absurd) case of more than 64 bound tables.
+    fn bound_mask(&self, bound: &[usize]) -> Option<u64> {
+        if self.binder.len() > 64 {
+            return None;
+        }
+        Some(bound.iter().fold(0u64, |m, &i| m | (1u64 << i)))
+    }
+
+    /// Memoized [`Planner::sources_for`].
+    fn sources_cached(&self, t: usize, bound: &[usize], table: &Table) -> Rc<SourceMaps> {
+        let Some(mask) = self.bound_mask(bound) else {
+            return Rc::new(self.sources_for(t, bound, table));
+        };
+        if let Some(hit) = self.scratch.sources.borrow().get(&(t, mask)) {
+            return Rc::clone(hit);
+        }
+        let v = Rc::new(self.sources_for(t, bound, table));
+        self.scratch
+            .sources
+            .borrow_mut()
+            .insert((t, mask), Rc::clone(&v));
+        v
+    }
+
+    /// Memoized [`Planner::table_selectivity`].
+    fn selectivity_cached(
+        &self,
+        t: usize,
+        bound: &[usize],
+        table: &Table,
+        stats: Option<&TableStats>,
+    ) -> f64 {
+        let Some(mask) = self.bound_mask(bound) else {
+            return self.table_selectivity(t, bound, table, stats);
+        };
+        if let Some(hit) = self.scratch.selectivity.borrow().get(&(t, mask)) {
+            return *hit;
+        }
+        let v = self.table_selectivity(t, bound, table, stats);
+        self.scratch.selectivity.borrow_mut().insert((t, mask), v);
+        v
+    }
+
+    /// Best config-independent access path (full scan, PK, materialized
+    /// indexes), memoized per (table, bound-set, outermost, materialized
+    /// visibility) so batched configs pay for it once.
+    #[allow(clippy::too_many_arguments)]
+    fn base_best(
+        &self,
+        t: usize,
+        bound: &[usize],
+        outermost: bool,
+        table: &Table,
+        stats: Option<&TableStats>,
+        eq_sources: &BTreeMap<String, EqSource>,
+        ranges: &BTreeMap<String, RangeInfo>,
+    ) -> (AccessPath, f64) {
+        let key = self
+            .bound_mask(bound)
+            .map(|m| (t, m, outermost, self.config.include_materialized));
+        if let Some(k) = &key {
+            if let Some(hit) = self.scratch.base_best.borrow().get(k) {
+                return hit.clone();
+            }
+        }
+        let table_rows = table.row_count() as f64;
+        let mut best_path = AccessPath::FullScan;
+        let mut best_cost = self.cm.full_scan_cost(table.data_bytes(), table_rows);
+        for cand in self.base_candidates(table) {
+            let Some((scan, cost)) =
+                self.cost_index_candidate(t, table, stats, &cand, eq_sources, ranges, outermost)
+            else {
+                continue;
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best_path = AccessPath::IndexScan(scan);
+            }
+        }
+        if let Some(k) = key {
+            self.scratch
+                .base_best
+                .borrow_mut()
+                .insert(k, (best_path.clone(), best_cost));
+        }
+        (best_path, best_cost)
     }
 
     /// Collects equality probe sources and range constraints for table `t`.
@@ -626,8 +772,18 @@ impl<'a> Planner<'a> {
         self.db.stats(&t.table)?.column(name)
     }
 
-    /// Enumerates candidate indexes for table instance `t`.
+    /// Enumerates candidate indexes for table instance `t` (base paths
+    /// followed by hypotheticals — the enumeration order every costing
+    /// fold in this module relies on).
     fn candidate_indexes(&self, _t: usize, table: &Table) -> Vec<CandidateIndex> {
+        let mut out = self.base_candidates(table);
+        out.extend(self.hypo_candidates(table));
+        out
+    }
+
+    /// Config-independent candidates: the PK plus (when the configuration
+    /// exposes them) materialized secondary indexes.
+    fn base_candidates(&self, table: &Table) -> Vec<CandidateIndex> {
         let schema = table.schema();
         let mut out = Vec::new();
         // PK as an "index": clustered, entries are whole rows.
@@ -656,15 +812,21 @@ impl<'a> Planner<'a> {
                 });
             }
         }
-        for (i, h) in self.config.for_table(&schema.name) {
-            out.push(CandidateIndex {
+        out
+    }
+
+    /// This config's hypothetical candidates on `table`.
+    fn hypo_candidates(&self, table: &Table) -> Vec<CandidateIndex> {
+        let schema = table.schema();
+        self.config
+            .for_table(&schema.name)
+            .map(|(i, h)| CandidateIndex {
                 choice: IndexChoice::Hypothetical(i),
                 columns: h.def.columns.clone(),
                 entry_width: h.entry_width,
                 clustered: false,
-            });
-        }
-        out
+            })
+            .collect()
     }
 
     /// Costs one candidate index for table `t`; returns the scan descriptor
@@ -769,7 +931,7 @@ impl<'a> Planner<'a> {
             if outermost && self.index_provides_order(&scan) {
                 if let Some(limit) = self.limit_value() {
                     let keep = self
-                        .table_selectivity(t, &[], table, stats)
+                        .selectivity_cached(t, &[], table, stats)
                         .max(1e-9);
                     entries = (limit as f64 / keep).min(table_rows);
                 }
@@ -798,7 +960,9 @@ impl<'a> Planner<'a> {
     }
 
     /// Index-merge union over single-table OR branches: every branch must
-    /// have a usable index on its own.
+    /// have a usable index on its own. Per-branch probe-source maps and the
+    /// best config-independent branch index are memoized; per config only
+    /// hypothetical candidates are (re)priced per branch.
     fn cost_or_union(
         &self,
         t: usize,
@@ -809,11 +973,54 @@ impl<'a> Planner<'a> {
             return None;
         }
         let branches = self.analysis.or_branches.as_ref()?;
-        let schema = table.schema();
+        let bases = self.or_branch_bases(t, table, stats, branches);
         let table_rows = table.row_count() as f64;
-        let mut scans = Vec::with_capacity(branches.len());
+        let mut scans = Vec::with_capacity(bases.len());
         let mut total_cost = 0.0f64;
+        let hypos = self.hypo_candidates(table);
 
+        for base in bases.iter() {
+            // Best index for this branch; a branch without one sinks the
+            // whole union. Fold order (base candidates, then hypotheticals,
+            // strict `<`) matches the historical single-list enumeration.
+            let mut best = base.base_best.clone();
+            for cand in &hypos {
+                if let Some((scan, cost)) = self.cost_index_candidate(
+                    t, table, stats, cand, &base.eq_sources, &base.ranges, false,
+                ) {
+                    if (!scan.eq.is_empty() || scan.range.is_some())
+                        && best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                            best = Some((scan, cost));
+                        }
+                }
+            }
+            let (scan, cost) = best?;
+            // Union always needs base-table lookups for non-covering
+            // branches; approximate via the branch cost already computed.
+            total_cost += cost;
+            scans.push(scan);
+        }
+        // Dedup + union overhead.
+        total_cost += table_rows * 0.001 + self.cm.row_cost * scans.len() as f64;
+        Some((AccessPath::OrUnion(scans), total_cost))
+    }
+
+    /// Per-OR-branch probe-source maps plus the best usable
+    /// config-independent branch index, memoized per (table, materialized
+    /// visibility).
+    fn or_branch_bases(
+        &self,
+        t: usize,
+        table: &Table,
+        stats: Option<&TableStats>,
+        branches: &[Vec<Sarg>],
+    ) -> Rc<Vec<OrBranchBase>> {
+        let key = (t, self.config.include_materialized);
+        if let Some(hit) = self.scratch.or_bases.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let schema = table.schema();
+        let mut bases = Vec::with_capacity(branches.len());
         for branch in branches {
             // Build per-branch eq/range source maps.
             let mut eq_sources: BTreeMap<String, EqSource> = BTreeMap::new();
@@ -843,28 +1050,29 @@ impl<'a> Planner<'a> {
                     }
                 }
             }
-            // Best index for this branch; a branch without one sinks the
-            // whole union.
-            let mut best: Option<(IndexScan, f64)> = None;
-            for cand in self.candidate_indexes(t, table) {
+            let mut base_best: Option<(IndexScan, f64)> = None;
+            for cand in self.base_candidates(table) {
                 if let Some((scan, cost)) = self.cost_index_candidate(
                     t, table, stats, &cand, &eq_sources, &ranges, false,
                 ) {
                     if (!scan.eq.is_empty() || scan.range.is_some())
-                        && best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                            best = Some((scan, cost));
+                        && base_best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                            base_best = Some((scan, cost));
                         }
                 }
             }
-            let (scan, cost) = best?;
-            // Union always needs base-table lookups for non-covering
-            // branches; approximate via the branch cost already computed.
-            total_cost += cost;
-            scans.push(scan);
+            bases.push(OrBranchBase {
+                eq_sources,
+                ranges,
+                base_best,
+            });
         }
-        // Dedup + union overhead.
-        total_cost += table_rows * 0.001 + self.cm.row_cost * scans.len() as f64;
-        Some((AccessPath::OrUnion(scans), total_cost))
+        let bases = Rc::new(bases);
+        self.scratch
+            .or_bases
+            .borrow_mut()
+            .insert(key, Rc::clone(&bases));
+        bases
     }
 
     // ------------------------------------------------------- order / groups
@@ -1264,6 +1472,82 @@ pub fn estimate_statement_cost(
     }
 }
 
+/// Batched [`estimate_statement_cost`]: prices one statement under every
+/// configuration in `configs`, sharing parsing, binding, predicate and
+/// selectivity derivation across the whole batch (SELECTs and DML WHERE
+/// clauses go through [`crate::whatif::WhatIfCache::eval_select_batch`];
+/// INSERT maintenance stays per-config arithmetic). Results are returned
+/// in `configs` order and are bit-identical to sequential calls.
+pub fn estimate_statement_cost_batch(
+    db: &Database,
+    stmt: &Statement,
+    configs: &[&HypoConfig],
+    cm: &CostModel,
+) -> Vec<Result<f64, ExecError>> {
+    match stmt {
+        Statement::Select(s) => crate::whatif::global()
+            .eval_select_batch(db, s, configs, cm)
+            .into_iter()
+            .map(|r| r.map(|e| e.cost))
+            .collect(),
+        Statement::Insert(i) => configs
+            .iter()
+            .map(|config| {
+                aim_telemetry::metrics::WHATIF_CALLS.incr();
+                let nindexes = index_count(db, &i.table, config)?;
+                let rows = i.rows.len().max(1) as f64;
+                Ok(rows * (1.0 + nindexes) * (cm.write_row_cost + cm.rand_page_cost))
+            })
+            .collect(),
+        Statement::Update(u) => {
+            let wheres = dml_where_cost_batch(db, &u.table, u.where_clause.as_ref(), configs, cm);
+            let assigned: BTreeSet<&str> =
+                u.assignments.iter().map(|(c, _)| c.as_str()).collect();
+            configs
+                .iter()
+                .zip(wheres)
+                .map(|(config, w)| {
+                    let (sel_cost, affected) = w?;
+                    let mut touched = 0.0;
+                    let table = db.table(&u.table)?;
+                    if config.include_materialized {
+                        for ix in table.indexes() {
+                            if ix.def().columns.iter().any(|c| assigned.contains(c.as_str())) {
+                                touched += 1.0;
+                            }
+                        }
+                    }
+                    for (_, h) in config.for_table(&u.table) {
+                        if h.def.columns.iter().any(|c| assigned.contains(c.as_str())) {
+                            touched += 1.0;
+                        }
+                    }
+                    Ok(sel_cost
+                        + affected
+                            * (1.0 + 2.0 * touched)
+                            * (cm.write_row_cost + cm.rand_page_cost))
+                })
+                .collect()
+        }
+        Statement::Delete(d) => {
+            let wheres = dml_where_cost_batch(db, &d.table, d.where_clause.as_ref(), configs, cm);
+            configs
+                .iter()
+                .zip(wheres)
+                .map(|(config, w)| {
+                    let (sel_cost, affected) = w?;
+                    let nindexes = index_count(db, &d.table, config)?;
+                    Ok(sel_cost
+                        + affected * (1.0 + nindexes) * (cm.write_row_cost + cm.rand_page_cost))
+                })
+                .collect()
+        }
+        Statement::CreateTable(_) | Statement::CreateIndex(_) | Statement::DropIndex { .. } => {
+            configs.iter().map(|_| Ok(0.0)).collect()
+        }
+    }
+}
+
 fn index_count(db: &Database, table: &str, config: &HypoConfig) -> Result<f64, ExecError> {
     let t = db.table(table)?;
     let mat = if config.include_materialized {
@@ -1295,6 +1579,32 @@ fn dml_where_cost(
     };
     let entry = crate::whatif::global().eval_select(db, &select, config, cm)?;
     Ok((entry.cost, entry.rows))
+}
+
+/// Batched [`dml_where_cost`]: one shared `SELECT *` planning context for
+/// every configuration.
+fn dml_where_cost_batch(
+    db: &Database,
+    table: &str,
+    where_clause: Option<&Expr>,
+    configs: &[&HypoConfig],
+    cm: &CostModel,
+) -> Vec<Result<(f64, f64), ExecError>> {
+    let select = Select {
+        distinct: false,
+        items: vec![SelectItem::Wildcard],
+        from: vec![aim_sql::ast::TableRef::new(table)],
+        where_clause: where_clause.cloned(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    crate::whatif::global()
+        .eval_select_batch(db, &select, configs, cm)
+        .into_iter()
+        .map(|r| r.map(|e| (e.cost, e.rows)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1376,10 +1686,7 @@ mod tests {
         let db = db();
         let h =
             HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
-        let cfg = HypoConfig {
-            indexes: vec![h.into()],
-            include_materialized: true,
-        };
+        let cfg = HypoConfig::overlay(vec![h]);
         let p = plan_sql(&db, "SELECT a, id FROM t WHERE a = 5", &cfg);
         match &p.steps[0].path {
             AccessPath::IndexScan(ix) => {
@@ -1395,10 +1702,7 @@ mod tests {
         let base = plan_sql(&db, "SELECT a, id FROM t WHERE a = 5", &HypoConfig::none());
         let h =
             HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()])).unwrap();
-        let cfg = HypoConfig {
-            indexes: vec![h.into()],
-            include_materialized: true,
-        };
+        let cfg = HypoConfig::overlay(vec![h]);
         let with_ix = plan_sql(&db, "SELECT a, id FROM t WHERE a = 5", &cfg);
         assert!(
             with_ix.est_cost < base.est_cost / 2.0,
@@ -1630,10 +1934,7 @@ mod tests {
         let bare = estimate_statement_cost(&db, &ins, &HypoConfig::none(), &cm).unwrap();
         let h = HypotheticalIndex::build(&db, IndexDef::new("h", "t", vec!["a".into()]))
             .unwrap();
-        let cfg = HypoConfig {
-            indexes: vec![h.into()],
-            include_materialized: true,
-        };
+        let cfg = HypoConfig::overlay(vec![h]);
         let with_ix = estimate_statement_cost(&db, &ins, &cfg, &cm).unwrap();
         assert!(with_ix > bare);
     }
@@ -1650,20 +1951,14 @@ mod tests {
         let cost_touching = estimate_statement_cost(
             &db,
             &upd,
-            &HypoConfig {
-                indexes: vec![h_b.into()],
-                include_materialized: true,
-            },
+            &HypoConfig::overlay(vec![h_b]),
             &cm,
         )
         .unwrap();
         let cost_untouched = estimate_statement_cost(
             &db,
             &upd,
-            &HypoConfig {
-                indexes: vec![h_a.into()],
-                include_materialized: true,
-            },
+            &HypoConfig::overlay(vec![h_a]),
             &cm,
         )
         .unwrap();

@@ -27,10 +27,10 @@
 use crate::cost::CostModel;
 use crate::error::ExecError;
 use crate::hypothetical::HypoConfig;
-use crate::planner::{plan_select, IndexChoice};
+use crate::planner::{plan_select, IndexChoice, Plan, Planner};
 use aim_sql::ast::{Select, Statement};
 use aim_storage::Database;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,10 +75,15 @@ pub fn statement_fingerprint(stmt: &Statement) -> u64 {
     w.0
 }
 
-fn context_key(config: &HypoConfig, cm: &CostModel) -> u64 {
+/// Fingerprint of the cost model's debug form (every constant + switch).
+fn cm_fingerprint(cm: &CostModel) -> u64 {
     let mut w = FnvWriter::new();
     let _ = write!(w, "{cm:?}");
-    w.0 ^ config.canonical_key().rotate_left(17)
+    w.0
+}
+
+fn context_key(config: &HypoConfig, cm: &CostModel) -> u64 {
+    cm_fingerprint(cm) ^ config.canonical_key().rotate_left(17)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -253,6 +258,155 @@ impl WhatIfCache {
         self.insert(key, entry.clone());
         Ok(entry)
     }
+
+    /// Batched what-if evaluation: prices `select` under every config in
+    /// `configs` in one shared planning pass, returning per-config results
+    /// in input order, bit-identical to sequential [`Self::eval_select`]
+    /// calls.
+    ///
+    /// Semantics preserved per config: the `exec.whatif` fault site fires
+    /// once per config (so chaos schedules see the same hit sequence),
+    /// cache hits/misses are accounted per config, and each miss is
+    /// memoized under its own key. One accounting nuance: lookups run
+    /// against the cache state at batch entry, so duplicate canonical keys
+    /// *within* one batch count as misses (they still share a plan, not a
+    /// planner pass). What is shared across the batch:
+    ///
+    /// * statement + cost-model fingerprints are computed once,
+    /// * one [`Planner`] carries binding, predicate analysis and the
+    ///   memoized probe-source / selectivity / base-access-path state
+    ///   across configs ([`Planner::set_config`]),
+    /// * configs whose hypothetical indexes project identically onto the
+    ///   statement's referenced tables share a single plan — their costs
+    ///   and used-hypo sets are provably identical, since planning only
+    ///   ever consults per-referenced-table hypotheticals and reports
+    ///   position-independent definition keys.
+    pub fn eval_select_batch(
+        &self,
+        db: &Database,
+        select: &Select,
+        configs: &[&HypoConfig],
+        cm: &CostModel,
+    ) -> Vec<Result<WhatIfEntry, ExecError>> {
+        use aim_telemetry::metrics::{
+            SELECTION_BATCHES, SELECTION_BATCH_BINDING_REUSE, SELECTION_BATCH_PLAN_REUSE,
+            WHATIF_CALLS,
+        };
+        if configs.is_empty() {
+            return Vec::new();
+        }
+        SELECTION_BATCHES.incr();
+        aim_telemetry::metrics::histogram_record("selection.batch.size", configs.len() as f64);
+
+        let enabled = self.is_enabled();
+        let mut out: Vec<Option<Result<WhatIfEntry, ExecError>>> = vec![None; configs.len()];
+        let mut misses: Vec<(usize, Option<Key>)> = Vec::new();
+        let stmt_fp = select_fingerprint(select);
+        let cm_fp = cm_fingerprint(cm);
+        let db_id = db.instance_id();
+        let epoch = db.stats_epoch();
+
+        for (i, cfg) in configs.iter().enumerate() {
+            // Same per-config gate as eval_select: an injected what-if
+            // failure must neither poison the memo table nor skew counters.
+            if let Some(aim_storage::fault::FaultKind::Fail) =
+                aim_storage::fault::hit("exec.whatif")
+            {
+                out[i] = Some(Err(ExecError::FaultInjected {
+                    site: "exec.whatif".to_string(),
+                }));
+                continue;
+            }
+            if enabled {
+                let key = Key {
+                    db: db_id,
+                    epoch,
+                    stmt: stmt_fp,
+                    ctx: cm_fp ^ cfg.canonical_key().rotate_left(17),
+                };
+                if let Some(hit) = self.lookup(&key) {
+                    out[i] = Some(Ok(hit));
+                    continue;
+                }
+                misses.push((i, Some(key)));
+            } else {
+                misses.push((i, None));
+            }
+        }
+
+        if !misses.is_empty() {
+            let mut planner = match Planner::new(db, select, configs[misses[0].0], cm) {
+                Ok(p) => p,
+                Err(e) => {
+                    // Binding/analysis errors are config-independent: every
+                    // sequential call would fail identically.
+                    for (i, _) in &misses {
+                        out[*i] = Some(Err(e.clone()));
+                    }
+                    let v: Vec<_> = out.into_iter().map(|r| r.expect("slot filled")).collect();
+                    return v;
+                }
+            };
+            let referenced: BTreeSet<String> = planner
+                .binder
+                .tables()
+                .iter()
+                .map(|t| t.table.clone())
+                .collect();
+            // Plans shared across configs with the same relevant projection.
+            let mut groups: HashMap<(bool, Vec<u64>), WhatIfEntry> = HashMap::new();
+            let mut planned = 0usize;
+            for (i, key) in misses {
+                let cfg = configs[i];
+                let mut proj: Vec<u64> = cfg
+                    .indexes
+                    .iter()
+                    .filter(|h| referenced.contains(&h.def.table))
+                    .map(|h| h.def_key())
+                    .collect();
+                proj.sort_unstable();
+                proj.dedup();
+                let gkey = (cfg.include_materialized, proj);
+                let entry = match groups.get(&gkey) {
+                    Some(e) => {
+                        SELECTION_BATCH_PLAN_REUSE.incr();
+                        e.clone()
+                    }
+                    None => {
+                        planner.set_config(cfg);
+                        if planned > 0 {
+                            SELECTION_BATCH_BINDING_REUSE.incr();
+                        }
+                        planned += 1;
+                        let plan = {
+                            let _span = aim_telemetry::span("exec.whatif");
+                            WHATIF_CALLS.incr();
+                            match planner.plan() {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    out[i] = Some(Err(e));
+                                    continue;
+                                }
+                            }
+                        };
+                        aim_telemetry::metrics::histogram_record(
+                            "exec.whatif_cost",
+                            plan.est_cost,
+                        );
+                        let entry = entry_from_plan(&plan, cfg);
+                        groups.insert(gkey, entry.clone());
+                        entry
+                    }
+                };
+                if let Some(key) = key {
+                    self.insert(key, entry.clone());
+                }
+                out[i] = Some(Ok(entry));
+            }
+        }
+
+        out.into_iter().map(|r| r.expect("slot filled")).collect()
+    }
 }
 
 fn plan_to_entry(
@@ -262,6 +416,12 @@ fn plan_to_entry(
     cm: &CostModel,
 ) -> Result<WhatIfEntry, ExecError> {
     let plan = plan_select(db, select, config, cm)?;
+    Ok(entry_from_plan(&plan, config))
+}
+
+/// Everything the advisor pipeline reads off a plan, with used
+/// hypotheticals reported by position-independent definition key.
+fn entry_from_plan(plan: &Plan, config: &HypoConfig) -> WhatIfEntry {
     let used_hypos = plan
         .used_indexes()
         .iter()
@@ -270,11 +430,11 @@ fn plan_to_entry(
             _ => None,
         })
         .collect();
-    Ok(WhatIfEntry {
+    WhatIfEntry {
         cost: plan.est_cost,
         rows: plan.result_rows,
         used_hypos,
-    })
+    }
 }
 
 /// The process-global cache every advisor path shares by default. Epoch +
@@ -480,6 +640,80 @@ mod tests {
         engine.execute(&mut db, &stmt).unwrap();
         let log = fault::disarm();
         assert_eq!(log.len(), 2, "execute fired twice: {log:?}");
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical_to_sequential() {
+        let db = db();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let ha = HypotheticalIndex::build(&db, IndexDef::new("ha", "t", vec!["a".into()]))
+            .unwrap();
+        let hid = HypotheticalIndex::build(&db, IndexDef::new("hid", "t", vec!["id".into()]))
+            .unwrap();
+        let cfgs = [
+            HypoConfig::only(Vec::new()),
+            HypoConfig::only(vec![ha.clone()]),
+            HypoConfig::only(vec![hid.clone()]),
+            HypoConfig::only(vec![ha.clone(), hid.clone()]),
+            HypoConfig::overlay(vec![ha.clone()]),
+            // Same canonical key as the pair above: shares its plan.
+            HypoConfig::only(vec![hid, ha]),
+        ];
+        let refs: Vec<&HypoConfig> = cfgs.iter().collect();
+
+        // Uncached planning: batched results must be bit-identical to
+        // per-config sequential evaluation.
+        let seq_cache = WhatIfCache::new();
+        seq_cache.set_enabled(false);
+        let seq: Vec<WhatIfEntry> = refs
+            .iter()
+            .map(|c| seq_cache.eval_select(&db, &s, c, &cm).unwrap())
+            .collect();
+        let batch_cache = WhatIfCache::new();
+        batch_cache.set_enabled(false);
+        let got = batch_cache.eval_select_batch(&db, &s, &refs, &cm);
+        assert_eq!(got.len(), seq.len());
+        for (g, e) in got.iter().zip(&seq) {
+            let g = g.as_ref().unwrap();
+            assert_eq!(g.cost.to_bits(), e.cost.to_bits());
+            assert_eq!(g.rows.to_bits(), e.rows.to_bits());
+            assert_eq!(g.used_hypos, e.used_hypos);
+        }
+        let stats = batch_cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+
+        // Cached: every config misses against the batch-entry snapshot,
+        // then a repeat batch hits for all of them with equal entries.
+        let cache = WhatIfCache::new();
+        let first = cache.eval_select_batch(&db, &s, &refs, &cm);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 6));
+        let second = cache.eval_select_batch(&db, &s, &refs, &cm);
+        assert_eq!(cache.stats().hits, 6);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn batched_evaluation_hits_fault_site_per_config() {
+        use aim_storage::fault::{self, FaultPlan};
+        let db = db();
+        let cm = CostModel::default();
+        let s = select("SELECT id FROM t WHERE a = 7");
+        let cfgs: Vec<HypoConfig> = (0..4).map(|_| HypoConfig::only(Vec::new())).collect();
+        let refs: Vec<&HypoConfig> = cfgs.iter().collect();
+        let cache = WhatIfCache::new();
+
+        // Skip 2 hits, fail 1: exactly the third config must error, and
+        // the injected failure must not be cached for it.
+        fault::arm(FaultPlan::new(1).fail("exec.whatif", 2, 1));
+        let got = cache.eval_select_batch(&db, &s, &refs, &cm);
+        let log = fault::disarm();
+        assert_eq!(log.len(), 1, "fault fired once: {log:?}");
+        assert!(got[0].is_ok() && got[1].is_ok() && got[3].is_ok());
+        assert!(got[2].as_ref().unwrap_err().is_injected());
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! reproducible while still sweeping a wide input space.
 
 use aim_core::partial_order::{merge_partial_orders, PartialOrder};
-use aim_exec::Engine;
+use aim_core::{
+    generate_candidates, knapsack_select, rank_candidates, rank_candidates_unbatched,
+    rank_candidates_with, refine_selection, CandidateGenConfig, RankedCandidate,
+};
+use aim_exec::{CostModel, Engine};
+use aim_monitor::{select_workload, SelectionConfig, WorkloadMonitor, WorkloadQuery};
 use aim_sql::normalize::normalize_statement;
 use aim_sql::parse_statement;
 use aim_storage::{
@@ -610,4 +615,195 @@ fn random_ops_are_identical_on_disk_and_memory_backends() {
     );
     disk.check_consistency().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------ batched costing & LP selection
+
+fn assert_ranked_bit_identical(a: &[RankedCandidate], b: &[RankedCandidate]) {
+    assert_eq!(a.len(), b.len(), "ranked lists differ in length");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.candidate.name(), y.candidate.name());
+        assert_eq!(x.size_bytes, y.size_bytes);
+        assert_eq!(
+            x.benefit.to_bits(),
+            y.benefit.to_bits(),
+            "benefit drifted for {}",
+            x.candidate.name()
+        );
+        assert_eq!(
+            x.maintenance.to_bits(),
+            y.maintenance.to_bits(),
+            "maintenance drifted for {}",
+            x.candidate.name()
+        );
+    }
+}
+
+/// Execute each statement `n` times against `db`, recording into a fresh
+/// monitor, then select the full observed workload (DML included).
+fn observe_workload(db: &mut Database, runs: &[(String, usize)]) -> Vec<WorkloadQuery> {
+    let engine = Engine::new();
+    let mut m = WorkloadMonitor::new();
+    for (sql, n) in runs {
+        let stmt = parse_statement(sql).expect("valid");
+        for _ in 0..*n {
+            let out = engine.execute(db, &stmt).expect("executes");
+            m.record(&stmt, &out);
+        }
+    }
+    select_workload(
+        &m,
+        &SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            max_queries: 100,
+            include_dml: true,
+        },
+    )
+}
+
+/// Batched what-if costing must be bit-identical to the per-config
+/// reference path across randomized mixed (SELECT + DML) workloads —
+/// same candidates, same benefits, same maintenance, to the last bit.
+#[test]
+fn batched_ranking_matches_per_config_on_random_workloads() {
+    let cols = ["a", "b", "c"];
+    let ops = ["=", ">", "<", ">="];
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let cm = CostModel::default();
+    for case in 0..8 {
+        let mut db = int_table(&mut rng, &cols, 150, 25);
+        let n_stmts = rng.gen_range(3..=6usize);
+        let mut runs: Vec<(String, usize)> = Vec::new();
+        for _ in 0..n_stmts {
+            let sql = if rng.gen_bool(0.7) {
+                let pred = |rng: &mut StdRng| {
+                    format!(
+                        "{} {} {}",
+                        cols[rng.gen_range(0..cols.len())],
+                        ops[rng.gen_range(0..ops.len())],
+                        rng.gen_range(0..25i64)
+                    )
+                };
+                let p1 = pred(&mut rng);
+                if rng.gen_bool(0.5) {
+                    let joiner = if rng.gen_bool(0.5) { "AND" } else { "OR" };
+                    format!("SELECT id FROM t WHERE {p1} {joiner} {}", pred(&mut rng))
+                } else {
+                    format!("SELECT id FROM t WHERE {p1}")
+                }
+            } else {
+                format!(
+                    "UPDATE t SET {} = {} WHERE id = {}",
+                    cols[rng.gen_range(0..cols.len())],
+                    rng.gen_range(0..25i64),
+                    rng.gen_range(0..150i64)
+                )
+            };
+            runs.push((sql, rng.gen_range(1..=4usize)));
+        }
+        let w = observe_workload(&mut db, &runs);
+        if w.is_empty() {
+            continue;
+        }
+        let cands = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        if cands.is_empty() {
+            continue;
+        }
+        // Cache off so both paths genuinely plan every config; equality
+        // must come from the costing itself, not shared memoization.
+        let cache = aim_exec::whatif::global();
+        cache.set_enabled(false);
+        let batched = rank_candidates_with(&db, &w, &cands, &cm, 1);
+        let sequential = rank_candidates_unbatched(&db, &w, &cands, &cm, 1);
+        cache.set_enabled(true);
+        assert_ranked_bit_identical(&sequential, &batched);
+        // Same property under the parallel ranking path.
+        let parallel = rank_candidates_with(&db, &w, &cands, &cm, 4);
+        assert_ranked_bit_identical(&sequential, &parallel);
+        assert!(!batched.is_empty() || case > 0, "degenerate sweep");
+    }
+}
+
+/// On small instances whose optimum is obvious — one hot equality query,
+/// unlimited budget — the LP selector must agree with greedy exactly; and
+/// under random budgets it may only replace the greedy set when the actual
+/// workload cost is strictly lower, else fall back bit-identically.
+#[test]
+fn lp_selection_agrees_with_greedy_on_optimal_instances() {
+    let cols = ["a", "b", "c"];
+    let mut rng = StdRng::seed_from_u64(0x1B07);
+    let cm = CostModel::default();
+    for _ in 0..5 {
+        let domain = rng.gen_range(20..60i64);
+        let mut db = Database::new();
+        let defs = vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("b", ColumnType::Int),
+            ColumnDef::new("c", ColumnType::Int),
+        ];
+        db.create_table(TableSchema::new("t", defs, &["id"]).expect("valid"))
+            .expect("fresh");
+        let mut io = IoStats::new();
+        for i in 0..2500i64 {
+            db.table_mut("t")
+                .expect("exists")
+                .insert(
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % domain),
+                        Value::Int((i * 7) % domain),
+                        Value::Int((i * 13) % domain),
+                    ],
+                    &mut io,
+                )
+                .expect("unique");
+        }
+        db.analyze_all();
+
+        let hot = cols[rng.gen_range(0..cols.len())];
+        let v = rng.gen_range(0..domain);
+        let w = observe_workload(
+            &mut db,
+            &[(format!("SELECT id FROM t WHERE {hot} = {v}"), 25)],
+        );
+        let cands = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        let ranked = rank_candidates(&db, &w, &cands, &cm);
+        assert!(!ranked.is_empty(), "hot query produced no candidates");
+
+        // Unlimited budget: the single useful index is provably optimal,
+        // so LP refinement must return exactly the greedy selection.
+        let greedy = knapsack_select(&ranked, u64::MAX, 0);
+        let out = refine_selection(&db, &w, &ranked, greedy.clone(), u64::MAX, 0, &cm);
+        assert_eq!(
+            out.chosen
+                .iter()
+                .map(|r| r.candidate.name())
+                .collect::<Vec<_>>(),
+            greedy
+                .iter()
+                .map(|r| r.candidate.name())
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            out.chosen
+                .iter()
+                .any(|r| r.candidate.columns.first() == Some(&hot.to_string())),
+            "optimal selection must lead with the hot column {hot}"
+        );
+
+        // Random constrained budget: matches-or-beats on actual cost.
+        let total: u64 = ranked.iter().map(|r| r.size_bytes).sum();
+        let budget = rng.gen_range(1..=total.max(2));
+        let greedy = knapsack_select(&ranked, budget, 0);
+        let out = refine_selection(&db, &w, &ranked, greedy.clone(), budget, 0, &cm);
+        if out.used_lp {
+            assert!(out.lp_cost < out.greedy_cost, "LP kept without improvement");
+        } else {
+            assert_ranked_bit_identical(&out.chosen, &greedy);
+        }
+        let used: u64 = out.chosen.iter().map(|r| r.size_bytes).sum();
+        assert!(used <= budget, "budget violated: {used} > {budget}");
+    }
 }

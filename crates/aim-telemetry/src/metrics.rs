@@ -94,6 +94,18 @@ pub static DEGRADED_PASSES: Counter = Counter::new("aim.degraded_passes");
 /// Passes aborted (deadline, cancellation, or retries exhausted) and
 /// rolled back.
 pub static PASSES_ABORTED: Counter = Counter::new("aim.passes_aborted");
+/// Batched what-if evaluations (one per `eval_select_batch` call).
+pub static SELECTION_BATCHES: Counter = Counter::new("selection.batch.count");
+/// Batch members that reused the batch's shared binding / predicate /
+/// selectivity derivation instead of re-deriving it from scratch
+/// (planner passes beyond a batch's first).
+pub static SELECTION_BATCH_BINDING_REUSE: Counter =
+    Counter::new("selection.batch.binding_reuse");
+/// Batch members served by an identical-projection plan from the same
+/// batch without any planner pass at all.
+pub static SELECTION_BATCH_PLAN_REUSE: Counter = Counter::new("selection.batch.plan_reuse");
+/// Simplex iterations performed by the LP selection strategy.
+pub static SELECTION_LP_ITERATIONS: Counter = Counter::new("selection.lp.iterations");
 /// Events evicted from the journal ring buffer before anyone read them.
 pub static JOURNAL_DROPPED: Counter = Counter::new("telemetry.journal_dropped");
 /// Event-sink write failures (the event is lost; each failure counts).
@@ -118,6 +130,10 @@ static BUILTIN: &[&Counter] = &[
     &TUNING_RETRIES,
     &DEGRADED_PASSES,
     &PASSES_ABORTED,
+    &SELECTION_BATCHES,
+    &SELECTION_BATCH_BINDING_REUSE,
+    &SELECTION_BATCH_PLAN_REUSE,
+    &SELECTION_LP_ITERATIONS,
     &JOURNAL_DROPPED,
     &SINK_ERRORS,
 ];
