@@ -31,9 +31,10 @@
 //!     explain demo "SELECT id FROM orders WHERE customer_id = 7"
 //!
 //! # continuous tuning over N observation windows, with the live
-//! # introspection endpoint (/metrics, /journal, /profile, /ledger)
+//! # introspection endpoint (/metrics, /journal, /profile, /timeseries,
+//! # /trace, /ledger) and a Chrome trace written on exit
 //! cargo run -p aim-bench --bin aim_cli --release -- \
-//!     continuous tpch --windows 3 --serve 7800
+//!     continuous tpch --windows 3 --serve 7800 --trace-out results/trace_tpch.json
 //! ```
 
 use aim_core::{AimConfig, BackendSpec, SelectionStrategy, TuningSession};
@@ -63,9 +64,24 @@ fn main() {
         };
         args.drain(i..(i + 2).min(args.len()));
     }
+    // `--trace-out PATH` applies to the telemetry-enabled modes
+    // (`--profile`, `continuous`): record every span close as a Chrome
+    // trace event and write the trace to PATH on exit (load it in
+    // chrome://tracing or Perfetto).
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        match args.get(i + 1) {
+            Some(path) => trace_out = Some(path.clone()),
+            None => {
+                eprintln!("--trace-out needs a file path (e.g. results/trace_run.json)");
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..(i + 2).min(args.len()));
+    }
     if let Some(i) = args.iter().position(|a| a == "--profile") {
         let workload = args.get(i + 1).map(String::as_str).unwrap_or("demo");
-        run_profile(workload, strategy);
+        run_profile(workload, strategy, trace_out.as_deref());
         return;
     }
     match args.first().map(String::as_str) {
@@ -74,7 +90,7 @@ fn main() {
             return;
         }
         Some("continuous") => {
-            run_continuous(&args[1..], strategy);
+            run_continuous(&args[1..], strategy, trace_out.as_deref());
             return;
         }
         _ => {}
@@ -442,7 +458,7 @@ fn run_explain(args: &[String], strategy: SelectionStrategy) {
 /// ledger recording, optionally exposing the live introspection endpoint.
 /// Writes `results/decision_ledger.json` and a telemetry artifact on
 /// completion.
-fn run_continuous(args: &[String], strategy: SelectionStrategy) {
+fn run_continuous(args: &[String], strategy: SelectionStrategy, trace_out: Option<&str>) {
     let mut workload = "demo".to_string();
     let mut windows = 3usize;
     let mut serve: Option<u16> = None;
@@ -481,6 +497,9 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
 
     aim_telemetry::reset();
     aim_telemetry::enable();
+    if trace_out.is_some() {
+        aim_telemetry::trace::start_recording();
+    }
     let session = AimConfig::builder()
         .selection(SelectionConfig {
             min_executions: 1,
@@ -497,7 +516,8 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
     let server = serve.map(|port| match aim_telemetry::IntrospectionServer::start(port) {
         Ok(s) => {
             println!(
-                "introspection endpoint: http://{} (/metrics /journal /profile /ledger)",
+                "introspection endpoint: http://{} \
+                 (/metrics /journal /profile /timeseries /trace /ledger)",
                 s.addr()
             );
             s
@@ -508,7 +528,11 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
         }
     });
 
-    let mut tuner = aim_core::ContinuousTuner::with_session(session.clone(), 0.5);
+    // The latency sentinel watches windowed select-latency and rolls back
+    // a materialization that regresses it (ledger stage
+    // `regression_rollback`).
+    let mut tuner = aim_core::ContinuousTuner::with_session(session.clone(), 0.5)
+        .with_sentinel(aim_core::LatencySentinel::new(Default::default()));
     for w in 1..=windows {
         let mut monitor = WorkloadMonitor::new();
         for wq in &weighted {
@@ -518,11 +542,13 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
         }
         match tuner.step(&mut db, &monitor) {
             Ok(out) => println!(
-                "window {w}: created {}, rejected {}, reverted {}, dropped {}",
+                "window {w}: created {}, rejected {}, reverted {}, dropped {}, \
+                 rolled back {}",
                 out.tuning.created.len(),
                 out.tuning.rejected.len(),
                 out.reverted.len(),
-                out.dropped_unused.len()
+                out.dropped_unused.len(),
+                out.rolled_back.len()
             ),
             Err(e) => println!("window {w}: step failed: {e}"),
         }
@@ -544,6 +570,13 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
     if let Err(e) = aim_telemetry::write_artifact("results/continuous_telemetry.json", &label) {
         eprintln!("failed to write telemetry artifact: {e}");
     }
+    if let Some(path) = trace_out {
+        let n = aim_telemetry::trace::stop_recording();
+        match aim_telemetry::trace::write_chrome_trace(path) {
+            Ok(()) => println!("chrome trace: {n} events -> {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 
     if let Some(server) = server {
         println!("endpoint still serving on http://{}; press Enter (or close stdin) to exit", server.addr());
@@ -557,13 +590,16 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy) {
 
 /// `--profile <workload>`: execute the workload once, run one tuning pass
 /// with telemetry on, and print the phase tree + counters.
-fn run_profile(workload: &str, strategy: SelectionStrategy) {
+fn run_profile(workload: &str, strategy: SelectionStrategy, trace_out: Option<&str>) {
     let engine = Engine::new();
     let mut monitor = WorkloadMonitor::new();
     let (mut db, weighted) = workload_fixture(workload, &engine, &mut monitor);
 
     aim_telemetry::enable();
     aim_telemetry::reset();
+    if trace_out.is_some() {
+        aim_telemetry::trace::start_recording();
+    }
     let wall = std::time::Instant::now();
 
     for wq in &weighted {
@@ -582,6 +618,13 @@ fn run_profile(workload: &str, strategy: SelectionStrategy) {
     let result = session.run(&mut db, &monitor);
     let wall = wall.elapsed();
 
+    if let Some(path) = trace_out {
+        let n = aim_telemetry::trace::stop_recording();
+        match aim_telemetry::trace::write_chrome_trace(path) {
+            Ok(()) => println!("chrome trace: {n} events -> {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
     let profile = aim_telemetry::take_profile();
     let snapshot = aim_telemetry::snapshot();
     println!("== profile: {workload} ==");

@@ -10,6 +10,7 @@
 
 use crate::driver::{Aim, AimOutcome};
 use crate::error::AimError;
+use crate::sentinel::{LatencySentinel, SentinelVerdict};
 use crate::session::TuningSession;
 use aim_monitor::WorkloadMonitor;
 use aim_sql::normalize::QueryFingerprint;
@@ -137,10 +138,13 @@ pub fn find_prefix_redundant_indexes(db: &Database) -> Vec<IndexDef> {
 pub struct ContinuousOutcome {
     /// The tuning pass result.
     pub tuning: AimOutcome,
-    /// Indexes dropped because a regression implicated them.
+    /// Indexes dropped because a per-query regression implicated them.
     pub reverted: Vec<String>,
     /// Indexes dropped as unused over the window.
     pub dropped_unused: Vec<String>,
+    /// Indexes rolled back by the latency sentinel: the previous step's
+    /// materialization regressed the windowed select-latency statistic.
+    pub rolled_back: Vec<String>,
 }
 
 /// Periodic tuner: regression-revert, tune, optionally garbage-collect
@@ -159,6 +163,9 @@ pub struct ContinuousTuner {
     /// §VII-C flags "a regression ... due to an index added by automation",
     /// i.e. a *recent* change, not any index the plan happens to use.
     recently_created: BTreeSet<String>,
+    /// Optional aggregate-latency watchdog over the windowed telemetry
+    /// (see [`crate::sentinel`]); armed after every materializing pass.
+    sentinel: Option<LatencySentinel>,
 }
 
 impl ContinuousTuner {
@@ -177,7 +184,23 @@ impl ContinuousTuner {
             unused_grace_windows: 2,
             unused_streak: BTreeMap::new(),
             recently_created: BTreeSet::new(),
+            sentinel: None,
         }
+    }
+
+    /// Attaches a latency sentinel: each step then ticks the telemetry
+    /// time-series, judges the closed window, and rolls back the previous
+    /// step's materialization when the sentinel flags a regression. The
+    /// sentinel needs telemetry enabled to see any data; with telemetry
+    /// off it simply never fires.
+    pub fn with_sentinel(mut self, sentinel: LatencySentinel) -> Self {
+        self.sentinel = Some(sentinel);
+        self
+    }
+
+    /// The attached sentinel, if any.
+    pub fn sentinel(&self) -> Option<&LatencySentinel> {
+        self.sentinel.as_ref()
     }
 
     /// Runs one step at the end of an observation window.
@@ -193,6 +216,53 @@ impl ContinuousTuner {
     ) -> Result<ContinuousOutcome, AimError> {
         let _step_span = aim_telemetry::span("aim.continuous_step");
         let mut outcome = ContinuousOutcome::default();
+
+        // 0. A step is a window boundary: close the telemetry time-series
+        //    window and, when a sentinel is attached, let it judge the
+        //    closed window. A regression verdict rolls back the previous
+        //    step's materialization before anything else happens.
+        let window = aim_telemetry::timeseries::tick("continuous_window");
+        let verdict = match (self.sentinel.as_mut(), window.as_ref()) {
+            (Some(sentinel), Some(window)) => Some(sentinel.observe_window(window)),
+            _ => None,
+        };
+        if let Some(SentinelVerdict::Regressed {
+            current,
+            baseline,
+            suspects,
+        }) = verdict
+        {
+            let _rollback_span = aim_telemetry::span("regression_rollback");
+            aim_telemetry::metrics::REGRESSIONS_DETECTED.incr();
+            for name in suspects {
+                let Some(def) = db.all_indexes().into_iter().find(|d| d.name == name) else {
+                    continue;
+                };
+                if db.drop_index(&def.table, &def.name).is_ok() {
+                    aim_telemetry::event(
+                        aim_telemetry::EventKind::RegressionRollback,
+                        &def.name,
+                        format!(
+                            "windowed select-latency regressed ({baseline:.1} -> \
+                             {current:.1}); rolling back the materialization that \
+                             armed the sentinel"
+                        ),
+                    );
+                    self.session.ledger_annotate(
+                        &def.name,
+                        &def.table,
+                        "regression_rollback",
+                        format!(
+                            "latency sentinel: windowed select-latency {current:.1} \
+                             exceeded the EWMA baseline {baseline:.1} within the \
+                             post-materialization watch"
+                        ),
+                    );
+                    self.recently_created.remove(&def.name);
+                    outcome.rolled_back.push(def.name);
+                }
+            }
+        }
 
         // 1. Revert recently-added automation indexes implicated in
         //    regressions (pre-existing indexes are never auto-dropped on a
@@ -253,6 +323,11 @@ impl ContinuousTuner {
             .iter()
             .map(|c| c.def.name.clone())
             .collect();
+        // A materializing pass puts the sentinel on alert for the next
+        // windows; a pass that created nothing leaves it as-is.
+        if let Some(sentinel) = self.sentinel.as_mut() {
+            sentinel.arm(self.recently_created.iter().cloned().collect());
+        }
 
         // 3. Unused-index GC with a grace period.
         let _gc_span = aim_telemetry::span("unused_gc");

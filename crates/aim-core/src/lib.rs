@@ -77,6 +77,7 @@ pub mod metadata;
 pub mod partial_order;
 pub mod ranking;
 pub mod selection_lp;
+pub mod sentinel;
 pub mod session;
 pub mod sharding;
 pub mod validate;
@@ -104,6 +105,7 @@ pub use ranking::{
     rank_candidates_with, try_rank_candidates_with, KnapsackDecision, RankedCandidate,
 };
 pub use selection_lp::{refine_selection, LpDecision, LpOutcome};
+pub use sentinel::{LatencySentinel, SentinelConfig, SentinelStat, SentinelVerdict};
 pub use session::{AimConfigBuilder, CancelToken, RetryPolicy, RunCtl, TuningSession};
 pub use sharding::ShardingProfile;
 pub use validate::{

@@ -493,11 +493,17 @@ fn rank_core(
         let chunk = workload.len().div_ceil(workers);
         let hypos = &hypos;
         let empty_cfg = &empty_cfg;
-        std::thread::scope(|s| {
+        // Workers adopt a trace context so their span subtrees (the
+        // per-query `exec.whatif` timings) stitch back into this thread's
+        // open `ranking` span instead of dying with the scoped threads.
+        let trace = aim_telemetry::trace::fork();
+        let trace_ref = &trace;
+        let scoped = std::thread::scope(|s| {
             let handles: Vec<_> = workload
                 .chunks(chunk)
                 .map(|queries| {
                     s.spawn(move || -> Result<Vec<QueryContribution>, AimError> {
+                        let _adopt = trace_ref.adopt();
                         let mut out = Vec::with_capacity(queries.len());
                         for wq in queries {
                             // Workers observe aborts between queries, so a
@@ -519,7 +525,11 @@ fn rank_core(
                 all.extend(h.join().expect("ranking worker panicked")?);
             }
             Ok::<_, AimError>(all)
-        })?
+        });
+        // Stitch even when the phase aborts: partial worker profiles are
+        // real time spent and must not leak into the pending buffer.
+        trace.stitch();
+        scoped?
     };
 
     let mut benefit: BTreeMap<usize, f64> = BTreeMap::new();

@@ -1,0 +1,309 @@
+//! The latency regression sentinel (§VII-C, aggregate form).
+//!
+//! [`crate::continuous::RegressionDetector`] watches *per-query* average
+//! CPU; it cannot see an aggregate tail-latency regression spread thinly
+//! across the workload — the failure mode DBA-bandits-style safety loops
+//! guard against. The sentinel closes that gap from the windowed telemetry
+//! side: it keeps an EWMA baseline of a select-latency histogram statistic
+//! (p99 of `exec.select_cost` by default) across tuning windows, arms
+//! itself whenever a pass materializes indexes, and — if an armed window's
+//! statistic exceeds the baseline by the tolerance — returns a
+//! [`SentinelVerdict::Regressed`] naming the materialized indexes as
+//! suspects. [`crate::continuous::ContinuousTuner::step`] then drops those
+//! indexes and records a `regression_rollback` stage in the decision
+//! ledger, closing the observe → detect → rollback loop.
+
+use aim_telemetry::timeseries::Window;
+
+/// Which windowed statistic of the watched histogram the sentinel tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SentinelStat {
+    P50,
+    P90,
+    P99,
+    Mean,
+}
+
+/// Tuning knobs for [`LatencySentinel`].
+#[derive(Debug, Clone)]
+pub struct SentinelConfig {
+    /// Windowed histogram to watch (a [`aim_telemetry::timeseries`] name).
+    pub histogram: &'static str,
+    /// Statistic of that histogram compared against the baseline.
+    pub stat: SentinelStat,
+    /// Tolerated relative growth over the EWMA baseline before an armed
+    /// window is declared regressed (`0.5` = 50%).
+    pub tolerance: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher weighs recent windows
+    /// more.
+    pub ewma_alpha: f64,
+    /// How many post-materialization windows stay under scrutiny before
+    /// the sentinel disarms on its own.
+    pub arm_windows: usize,
+    /// Windows with fewer observations than this neither update the
+    /// baseline nor count against the armed grace period.
+    pub min_samples: u64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            histogram: "exec.select_cost",
+            stat: SentinelStat::P99,
+            tolerance: 0.5,
+            ewma_alpha: 0.3,
+            arm_windows: 2,
+            min_samples: 5,
+        }
+    }
+}
+
+/// What the sentinel concluded about one window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SentinelVerdict {
+    /// Not armed; the window fed the baseline.
+    Idle,
+    /// Too little data to judge (below `min_samples`, or no baseline yet
+    /// while armed); nothing changed.
+    Insufficient,
+    /// Armed and the window looked fine; scrutiny continues.
+    Cleared,
+    /// Armed, the final grace window passed clean, and the sentinel
+    /// disarmed — the materialization is considered vindicated.
+    Disarmed,
+    /// An armed window blew through the baseline: the suspect indexes
+    /// should be rolled back.
+    Regressed {
+        /// Windowed statistic that tripped the detector.
+        current: f64,
+        /// EWMA baseline it was compared against.
+        baseline: f64,
+        /// Indexes materialized by the pass that armed the sentinel.
+        suspects: Vec<String>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Armed {
+    suspects: Vec<String>,
+    windows_left: usize,
+}
+
+/// EWMA + threshold detector over windowed select-latency statistics.
+#[derive(Debug, Clone)]
+pub struct LatencySentinel {
+    pub config: SentinelConfig,
+    ewma: Option<f64>,
+    windows_observed: u64,
+    armed: Option<Armed>,
+}
+
+impl LatencySentinel {
+    pub fn new(config: SentinelConfig) -> Self {
+        Self {
+            config,
+            ewma: None,
+            windows_observed: 0,
+            armed: None,
+        }
+    }
+
+    /// Puts the sentinel on alert: the next `arm_windows` data-bearing
+    /// windows are compared against the baseline, with `suspects` (the
+    /// just-materialized indexes) on the hook. Re-arming replaces any
+    /// previous watch.
+    pub fn arm(&mut self, suspects: Vec<String>) {
+        if suspects.is_empty() {
+            return;
+        }
+        self.armed = Some(Armed {
+            suspects,
+            windows_left: self.config.arm_windows,
+        });
+    }
+
+    /// Current EWMA baseline of the watched statistic, if established.
+    pub fn baseline(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// True while a materialization is under scrutiny.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Data-bearing windows folded into the baseline so far.
+    pub fn windows_observed(&self) -> u64 {
+        self.windows_observed
+    }
+
+    fn stat_of(&self, w: &Window) -> Option<f64> {
+        let h = w.histogram(self.config.histogram)?;
+        if h.count < self.config.min_samples {
+            return None;
+        }
+        Some(match self.config.stat {
+            SentinelStat::P50 => h.p50,
+            SentinelStat::P90 => h.p90,
+            SentinelStat::P99 => h.p99,
+            SentinelStat::Mean => h.mean(),
+        })
+    }
+
+    fn absorb(&mut self, stat: f64) {
+        let alpha = self.config.ewma_alpha.clamp(f64::EPSILON, 1.0);
+        self.ewma = Some(match self.ewma {
+            None => stat,
+            Some(e) => alpha * stat + (1.0 - alpha) * e,
+        });
+        self.windows_observed += 1;
+    }
+
+    /// Judges one closed window. Regressed windows are *not* absorbed into
+    /// the baseline (the rollback restores the pre-materialization world
+    /// the baseline describes); everything else data-bearing is.
+    pub fn observe_window(&mut self, w: &Window) -> SentinelVerdict {
+        let Some(stat) = self.stat_of(w) else {
+            return SentinelVerdict::Insufficient;
+        };
+        if let Some(armed) = self.armed.as_mut() {
+            let Some(baseline) = self.ewma else {
+                // Armed before any baseline existed: this window becomes
+                // the baseline rather than being judged against nothing.
+                self.absorb(stat);
+                return SentinelVerdict::Insufficient;
+            };
+            if stat > baseline * (1.0 + self.config.tolerance) {
+                let suspects = std::mem::take(&mut armed.suspects);
+                self.armed = None;
+                return SentinelVerdict::Regressed {
+                    current: stat,
+                    baseline,
+                    suspects,
+                };
+            }
+            armed.windows_left = armed.windows_left.saturating_sub(1);
+            let disarmed = armed.windows_left == 0;
+            if disarmed {
+                self.armed = None;
+            }
+            self.absorb(stat);
+            if disarmed {
+                SentinelVerdict::Disarmed
+            } else {
+                SentinelVerdict::Cleared
+            }
+        } else {
+            self.absorb(stat);
+            SentinelVerdict::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_telemetry::timeseries::WindowHistogram;
+
+    fn window(count: u64, p99: f64) -> Window {
+        Window {
+            index: 0,
+            label: "test".into(),
+            duration: std::time::Duration::from_secs(1),
+            counters: Vec::new(),
+            histograms: vec![(
+                "exec.select_cost".into(),
+                WindowHistogram {
+                    count,
+                    sum: p99 * count as f64,
+                    p50: p99 * 0.5,
+                    p90: p99 * 0.9,
+                    p99,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn idle_windows_build_an_ewma_baseline() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        assert_eq!(s.observe_window(&window(10, 100.0)), SentinelVerdict::Idle);
+        assert_eq!(s.baseline(), Some(100.0));
+        s.observe_window(&window(10, 200.0));
+        // alpha 0.3: 0.3*200 + 0.7*100 = 130.
+        assert!((s.baseline().unwrap() - 130.0).abs() < 1e-9);
+        assert_eq!(s.windows_observed(), 2);
+    }
+
+    #[test]
+    fn sparse_windows_are_ignored() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        assert_eq!(
+            s.observe_window(&window(2, 1e9)),
+            SentinelVerdict::Insufficient
+        );
+        assert_eq!(s.baseline(), None);
+        // While armed, a sparse window burns no grace.
+        s.observe_window(&window(10, 100.0));
+        s.arm(vec!["aim_t_a".into()]);
+        assert_eq!(
+            s.observe_window(&window(1, 1e9)),
+            SentinelVerdict::Insufficient
+        );
+        assert!(s.is_armed());
+    }
+
+    #[test]
+    fn armed_regression_names_the_suspects_once() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        s.observe_window(&window(10, 100.0));
+        s.arm(vec!["aim_t_a".into(), "aim_t_ab".into()]);
+        let verdict = s.observe_window(&window(10, 151.0));
+        match verdict {
+            SentinelVerdict::Regressed {
+                current,
+                baseline,
+                suspects,
+            } => {
+                assert!((current - 151.0).abs() < 1e-9);
+                assert!((baseline - 100.0).abs() < 1e-9);
+                assert_eq!(suspects, vec!["aim_t_a", "aim_t_ab"]);
+            }
+            other => panic!("expected a regression, got {other:?}"),
+        }
+        // Disarmed after firing; the regressed window never polluted the
+        // baseline.
+        assert!(!s.is_armed());
+        assert_eq!(s.baseline(), Some(100.0));
+        assert_eq!(s.observe_window(&window(10, 100.0)), SentinelVerdict::Idle);
+    }
+
+    #[test]
+    fn clean_windows_clear_then_disarm() {
+        let mut s = LatencySentinel::new(SentinelConfig {
+            arm_windows: 2,
+            ..SentinelConfig::default()
+        });
+        s.observe_window(&window(10, 100.0));
+        s.arm(vec!["aim_t_a".into()]);
+        assert_eq!(
+            s.observe_window(&window(10, 110.0)),
+            SentinelVerdict::Cleared
+        );
+        assert!(s.is_armed());
+        assert_eq!(
+            s.observe_window(&window(10, 105.0)),
+            SentinelVerdict::Disarmed
+        );
+        assert!(!s.is_armed());
+        // Clean armed windows do feed the baseline.
+        assert!(s.baseline().unwrap() > 100.0);
+    }
+
+    #[test]
+    fn arming_with_no_suspects_is_a_noop() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        s.arm(Vec::new());
+        assert!(!s.is_armed());
+    }
+}

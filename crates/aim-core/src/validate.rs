@@ -125,11 +125,17 @@ fn replay_workload(
     }
     let chunk = workload.len().div_ceil(workers);
     let db = &*db;
-    std::thread::scope(|s| {
+    // Workers adopt a trace context so their span subtrees (per-query
+    // `exec.select` timings) stitch back into the replay's open span
+    // instead of dying with the scoped threads.
+    let trace = aim_telemetry::trace::fork();
+    let trace_ref = &trace;
+    let scoped = std::thread::scope(|s| {
         let handles: Vec<_> = workload
             .chunks(chunk)
             .map(|queries| {
                 s.spawn(move || -> Result<Vec<_>, AimError> {
+                    let _adopt = trace_ref.adopt();
                     let mut out = Vec::with_capacity(queries.len());
                     for wq in queries {
                         // Workers observe aborts between queries.
@@ -155,7 +161,9 @@ fn replay_workload(
             all.extend(h.join().expect("validation worker panicked")?);
         }
         Ok(all)
-    })
+    });
+    trace.stitch();
+    scoped
 }
 
 /// One replayed statement's observation under the strict-mode contract:

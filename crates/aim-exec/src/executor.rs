@@ -137,6 +137,13 @@ impl Engine {
         aim_telemetry::metrics::ROWS_READ.add(outcome.io.rows_read);
         aim_telemetry::metrics::PAGES_READ.add(outcome.io.pages_read);
         aim_telemetry::metrics::INDEX_SEEKS.add(outcome.io.seeks);
+        // Select latency proxy for the windowed time-series and the
+        // regression sentinel. Only production executes feed it — advisory
+        // what-ifs and validation replays call `execute_select` directly
+        // and must not pollute the live-traffic signal.
+        if matches!(stmt, Statement::Select(_)) {
+            aim_telemetry::metrics::histogram_record("exec.select_cost", outcome.cost);
+        }
         Ok(outcome)
     }
 
@@ -165,6 +172,10 @@ impl Engine {
                 site: "exec.execute".to_string(),
             });
         }
+        // Spanned here (not in `execute`) so parallel validation replays,
+        // which call `execute_select` directly from worker threads, still
+        // time their per-query work for profile stitching.
+        let _span = aim_telemetry::span("exec.select");
         let config = HypoConfig::none();
         let planner = Planner::new(db, select, &config, &self.cost_model)?;
         let plan = planner.plan()?;

@@ -1,0 +1,268 @@
+//! The windowed-telemetry observability loop end to end: a seeded latency
+//! regression that the sentinel must catch and roll back within its armed
+//! watch, and the cross-thread trace stitching that keeps worker-side
+//! span subtrees in the session profile.
+
+use aim_core::continuous::ContinuousTuner;
+use aim_core::{
+    generate_candidates, rank_candidates_with, AimConfig, CandidateGenConfig, LatencySentinel,
+    SentinelConfig,
+};
+use aim_exec::{estimate_statement_cost, CostModel, Engine, HypoConfig};
+use aim_monitor::{QueryStats, SelectionConfig, WorkloadMonitor, WorkloadQuery};
+use aim_sql::parse_statement;
+use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
+use aim_telemetry::{EventKind, MemorySink};
+use std::sync::Mutex;
+
+/// Telemetry state is process-global; tests in this binary take turns.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn build_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("b", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    insert_rows(&mut db, 0, rows);
+    db.analyze_all();
+    db
+}
+
+fn insert_rows(db: &mut Database, from: i64, to: i64) {
+    let mut io = IoStats::new();
+    for i in from..to {
+        db.table_mut("t")
+            .unwrap()
+            .insert(
+                vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 10)],
+                &mut io,
+            )
+            .unwrap();
+    }
+}
+
+/// Runs `sql` through the production execute path (the one that feeds the
+/// `exec.select_cost` window histogram) and records it in the monitor.
+fn run_queries(db: &mut Database, monitor: &mut WorkloadMonitor, sql: &str, n: usize) {
+    let engine = Engine::new();
+    let stmt = parse_statement(sql).unwrap();
+    for _ in 0..n {
+        let out = engine.execute(db, &stmt).unwrap();
+        monitor.record(&stmt, &out);
+    }
+}
+
+/// A materialization that turns out to coincide with a genuine latency
+/// regression must be rolled back by the sentinel within its armed watch
+/// (two windows by default — here it fires on the very first one), and the
+/// rollback must be auditable in both the event journal and the decision
+/// ledger.
+#[test]
+fn sentinel_rolls_back_a_seeded_regression_within_two_windows() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    aim_telemetry::enable();
+    aim_telemetry::reset();
+    aim_telemetry::clear_sinks();
+    let sink = MemorySink::new();
+    let handle = sink.handle();
+    aim_telemetry::add_sink(Box::new(sink));
+
+    let mut db = build_db(4000);
+    let session = AimConfig::builder()
+        .selection(SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            max_queries: 50,
+            include_dml: true,
+        })
+        .ledger(true)
+        .session();
+    let mut tuner = ContinuousTuner::with_session(session.clone(), 0.5)
+        .with_sentinel(LatencySentinel::new(SentinelConfig::default()));
+
+    // Window 1: steady point-select traffic on `a`. The closing tick
+    // baselines the sentinel's EWMA, and the pass materializes an index
+    // on `a`, arming the sentinel with it.
+    let mut monitor = WorkloadMonitor::new();
+    run_queries(&mut db, &mut monitor, "SELECT id FROM t WHERE a = 5", 10);
+    let out1 = tuner.step(&mut db, &monitor).unwrap();
+    assert!(
+        !out1.tuning.created.is_empty(),
+        "fixture must materialize an index; rejected: {:?}",
+        out1.tuning.rejected
+    );
+    assert!(out1.rolled_back.is_empty());
+    let sentinel = tuner.sentinel().unwrap();
+    assert!(sentinel.is_armed(), "materialization must arm the sentinel");
+    assert!(sentinel.baseline().is_some(), "window 1 must set the EWMA");
+    let suspect = out1.tuning.created[0].def.name.clone();
+
+    // Window 2: the table balloons 16x and traffic shifts to unindexed
+    // scans on `b` — windowed select p99 blows far past baseline * 1.5.
+    insert_rows(&mut db, 4000, 64_000);
+    db.analyze_all();
+    let mut monitor = WorkloadMonitor::new();
+    run_queries(&mut db, &mut monitor, "SELECT id FROM t WHERE b = 3", 10);
+    let out2 = tuner.step(&mut db, &monitor).unwrap();
+
+    // Detection within the armed watch: one window after materialization.
+    assert_eq!(
+        out2.rolled_back,
+        vec![suspect.clone()],
+        "sentinel must roll back the armed pass's index"
+    );
+    assert!(
+        !db.all_indexes().iter().any(|d| d.name == suspect),
+        "rolled-back index still present in the database"
+    );
+
+    // The rollback is journaled ...
+    let rollback_events: Vec<_> = handle
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::RegressionRollback)
+        .collect();
+    assert_eq!(rollback_events.len(), 1);
+    assert_eq!(rollback_events[0].target, suspect);
+
+    // ... and the decision ledger's record for the index terminates on the
+    // regression_rollback stage.
+    let ledger = session.ledger();
+    let record = ledger
+        .find(&suspect)
+        .unwrap_or_else(|| panic!("{suspect} missing from the decision ledger"));
+    assert_eq!(record.outcome(), "regression_rollback");
+    assert!(
+        record.stages().contains(&"materialized"),
+        "rollback must chain onto the materialization record: {:?}",
+        record.stages()
+    );
+
+    aim_telemetry::clear_sinks();
+    aim_telemetry::disable();
+}
+
+/// Worker threads spawned by the parallel ranking path must not lose their
+/// span subtrees: the fork/adopt/stitch hand-off grafts them back into the
+/// parent's profile, so a parallel run shows the same `exec.whatif` count
+/// under the same parent as a sequential one.
+#[test]
+fn parallel_ranking_profile_matches_sequential_shape() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let db = build_db(4000);
+    let cm = CostModel::default();
+    let empty = HypoConfig::only(Vec::new());
+    let sqls = [
+        "SELECT id FROM t WHERE a = 7",
+        "SELECT id FROM t WHERE b = 3",
+        "SELECT id FROM t WHERE a = 9 AND b = 1",
+        "SELECT a FROM t WHERE b = 2",
+    ];
+    let workload: Vec<WorkloadQuery> = sqls
+        .iter()
+        .map(|sql| {
+            let stmt = parse_statement(sql).unwrap();
+            let cost = estimate_statement_cost(&db, &stmt, &empty, &cm).unwrap_or(0.0);
+            WorkloadQuery {
+                stats: QueryStats::synthetic(&stmt, 10, 10.0 * cost),
+                benefit: 0.0,
+                weight: 10.0,
+            }
+        })
+        .collect();
+    let candidates = generate_candidates(&db, &workload, &CandidateGenConfig::default());
+    assert!(candidates.len() >= 2, "need enough candidates to parallelize");
+
+    // The what-if cache would let the second run skip costing (and its
+    // spans) entirely; disable it so both runs do identical work.
+    let cache = aim_exec::whatif::global();
+    cache.clear();
+    cache.set_enabled(false);
+
+    let whatif_count = |workers: usize| -> u64 {
+        aim_telemetry::enable();
+        aim_telemetry::reset();
+        let count = {
+            let _s = aim_telemetry::span("ranking");
+            let _ = rank_candidates_with(&db, &workload, &candidates, &cm, workers);
+            drop(_s);
+            let profile = aim_telemetry::take_profile();
+            let ranking = profile.child("ranking").expect("ranking span recorded");
+            ranking
+                .child("exec.whatif")
+                .unwrap_or_else(|| {
+                    panic!("exec.whatif missing under ranking (workers={workers}): {ranking:?}")
+                })
+                .count
+        };
+        aim_telemetry::disable();
+        count
+    };
+
+    let sequential = whatif_count(1);
+    assert!(sequential > 0);
+    let parallel = whatif_count(4);
+    assert_eq!(
+        parallel, sequential,
+        "worker span subtrees lost or duplicated in the parallel profile"
+    );
+    assert_eq!(
+        aim_telemetry::trace::pending_len(),
+        0,
+        "stitch left orphaned worker profiles pending"
+    );
+
+    cache.clear();
+    cache.set_enabled(true);
+}
+
+/// The hand-rolled artifact emitter and the strict `jsonv` reader agree:
+/// a telemetry state loaded with escape-hostile strings serializes to a
+/// document that parses, and the nasty strings survive byte-for-byte.
+#[test]
+fn artifact_json_roundtrips_through_jsonv() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    aim_telemetry::enable();
+    aim_telemetry::reset();
+
+    let nasty = "quote \" backslash \\ newline \n tab \t control \u{1} slash / unicode é🦀";
+    aim_telemetry::event(EventKind::IndexAccepted, "aim_\"t\"_a", nasty);
+    {
+        let _outer = aim_telemetry::span("outer");
+        let _inner = aim_telemetry::span("inner");
+    }
+    let _ = aim_telemetry::timeseries::tick("roundtrip");
+
+    let doc = aim_telemetry::report::artifact_json("label \\ with \"specials\"\n");
+    let parsed = aim_telemetry::jsonv::parse(&doc)
+        .unwrap_or_else(|e| panic!("artifact JSON failed to parse: {e}"));
+
+    use aim_telemetry::jsonv::Json;
+    assert_eq!(
+        parsed.get("label").and_then(Json::as_str),
+        Some("label \\ with \"specials\"\n")
+    );
+    let events = parsed.get("events").and_then(Json::as_arr).unwrap();
+    let event = events
+        .iter()
+        .find(|e| e.get("kind").and_then(Json::as_str) == Some("index_accepted"))
+        .expect("recorded event present in artifact");
+    assert_eq!(event.get("target").and_then(Json::as_str), Some("aim_\"t\"_a"));
+    assert_eq!(event.get("detail").and_then(Json::as_str), Some(nasty));
+    // The structural sections all materialized through the parser too.
+    assert!(parsed.get("profile").and_then(Json::as_arr).is_some());
+    assert!(parsed.path("timeseries/windows").and_then(Json::as_arr).is_some());
+
+    aim_telemetry::disable();
+}

@@ -807,3 +807,161 @@ fn lp_selection_agrees_with_greedy_on_optimal_instances() {
         assert!(used <= budget, "budget violated: {used} > {budget}");
     }
 }
+
+// ------------------------------------------------------------------ jsonv
+
+use aim_telemetry::jsonv::{self, Json};
+use std::collections::BTreeMap;
+
+/// Serializes a [`Json`] value the way the workspace's hand-rolled
+/// emitters do: `\u` escapes for control characters, `\"`/`\\` for the
+/// two specials, everything else verbatim UTF-8.
+fn emit_json(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&format!("{n}")),
+        Json::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json(&Json::Str(k.clone()), out);
+                out.push(':');
+                emit_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A random string drawn from a palette that stresses every escape class:
+/// the two JSON specials, whitespace escapes, raw control characters,
+/// multi-byte UTF-8, and the solidus.
+fn random_string(rng: &mut StdRng) -> String {
+    const PALETTE: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\r", "\t", "\u{0001}", "\u{001f}", "/", "é", "λ",
+        "漢", "🦀", "\\n", "\"quoted\"",
+    ];
+    let len = rng.gen_range(0..8usize);
+    (0..len)
+        .map(|_| PALETTE[rng.gen_range(0..PALETTE.len())])
+        .collect()
+}
+
+/// A random document, depth-bounded so the recursive parser stays well
+/// inside stack limits while still nesting containers inside containers.
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.gen_range(0..if leaf_only { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0..2) == 1),
+        // Exactly representable in binary, so Display output reparses to
+        // the identical f64.
+        2 => Json::Num(rng.gen_range(-64_000i64..64_000) as f64 / 8.0),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..4usize);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4usize);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(random_string(rng), random_json(rng, depth - 1));
+            }
+            Json::Obj(map)
+        }
+    }
+}
+
+#[test]
+fn jsonv_roundtrips_random_documents() {
+    let mut rng = StdRng::seed_from_u64(0x150_0AF);
+    for _ in 0..500 {
+        let doc = random_json(&mut rng, 4);
+        let mut text = String::new();
+        emit_json(&doc, &mut text);
+        let parsed = jsonv::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted JSON failed to parse: {e} in {text}"));
+        assert_eq!(parsed, doc, "round trip diverged for {text}");
+    }
+}
+
+#[test]
+fn jsonv_parses_deep_nesting() {
+    // 200 levels of arrays and of single-key objects: far deeper than any
+    // artifact we emit, still far from the thread's stack limit.
+    let deep_arr = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+    let mut v = jsonv::parse(&deep_arr).expect("deep array parses");
+    for _ in 0..200 {
+        v = v.as_arr().expect("array level")[0].clone();
+    }
+    assert_eq!(v, Json::Num(1.0));
+
+    let deep_obj = format!("{}true{}", "{\"k\":".repeat(200), "}".repeat(200));
+    let mut v = jsonv::parse(&deep_obj).expect("deep object parses");
+    for _ in 0..200 {
+        v = v.get("k").expect("object level").clone();
+    }
+    assert_eq!(v, Json::Bool(true));
+}
+
+#[test]
+fn jsonv_rejects_malformed_documents() {
+    let cases: &[(&str, &str)] = &[
+        ("{} x", "trailing garbage after an object"),
+        ("1 2", "two top-level values"),
+        ("[1,2]]", "unbalanced close bracket"),
+        ("\"\\x\"", "unknown escape"),
+        ("\"\\u12\"", "short unicode escape"),
+        ("\"\\u12zz\"", "non-hex unicode escape"),
+        ("\"unterminated", "unterminated string"),
+        ("{k:1}", "unquoted object key"),
+        ("[1,]", "trailing comma in array"),
+        ("{\"a\":1,}", "trailing comma in object"),
+        ("-", "lone minus sign"),
+        ("tru", "truncated literal"),
+        ("", "empty document"),
+        ("[1 2]", "missing array comma"),
+        ("{\"a\" 1}", "missing object colon"),
+    ];
+    for (doc, why) in cases {
+        let err = jsonv::parse(doc)
+            .err()
+            .unwrap_or_else(|| panic!("accepted malformed input ({why}): {doc:?}"));
+        assert!(
+            err.offset <= doc.len(),
+            "error offset {} outside document ({why})",
+            err.offset
+        );
+    }
+}

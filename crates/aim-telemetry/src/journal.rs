@@ -40,6 +40,9 @@ pub enum EventKind {
     /// A pass was aborted (deadline, cancellation, retries exhausted) and
     /// its partially materialized indexes were rolled back.
     PassAborted,
+    /// The latency sentinel flagged a windowed latency regression after a
+    /// materialization and rolled the suspect indexes back.
+    RegressionRollback,
 }
 
 impl EventKind {
@@ -58,6 +61,7 @@ impl EventKind {
             EventKind::PhaseRetried => "phase_retried",
             EventKind::PassDegraded => "pass_degraded",
             EventKind::PassAborted => "pass_aborted",
+            EventKind::RegressionRollback => "regression_rollback",
         }
     }
 }

@@ -55,6 +55,8 @@ pub mod report;
 pub mod serve;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
 pub use journal::{event, events, Event, EventKind};
 pub use metrics::{snapshot, Counter, HistogramSnapshot, Snapshot};
@@ -67,6 +69,8 @@ pub use span::{
     profile_snapshot, publish_profile, published_profile, span, take_profile, ProfileNode,
     SpanGuard,
 };
+pub use timeseries::{Window, WindowHistogram};
+pub use trace::{fork, AdoptGuard, TraceContext};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -89,12 +93,15 @@ pub fn is_enabled() -> bool {
 }
 
 /// Clears all collected state: counters, gauges, histograms, the event
-/// journal, and the calling thread's span profile. Registered sinks are
-/// kept (use [`clear_sinks`] to drop them).
+/// journal, the calling thread's span profile, the time-series ring and
+/// the trace recorder. Registered sinks are kept (use [`clear_sinks`] to
+/// drop them).
 pub fn reset() {
     metrics::reset();
     journal::reset();
     span::reset();
+    timeseries::reset();
+    trace::reset();
 }
 
 #[cfg(test)]

@@ -110,6 +110,11 @@ pub static SELECTION_LP_ITERATIONS: Counter = Counter::new("selection.lp.iterati
 pub static JOURNAL_DROPPED: Counter = Counter::new("telemetry.journal_dropped");
 /// Event-sink write failures (the event is lost; each failure counts).
 pub static SINK_ERRORS: Counter = Counter::new("telemetry.sink_errors");
+/// Time-series windows closed by [`crate::timeseries::tick`].
+pub static TIMESERIES_WINDOWS: Counter = Counter::new("timeseries.windows");
+/// Worker span roots stitched into a parent profile by
+/// [`crate::trace::TraceContext::stitch`].
+pub static TRACE_SPANS_STITCHED: Counter = Counter::new("trace.spans_stitched");
 
 static BUILTIN: &[&Counter] = &[
     &WHATIF_CALLS,
@@ -136,7 +141,46 @@ static BUILTIN: &[&Counter] = &[
     &SELECTION_LP_ITERATIONS,
     &JOURNAL_DROPPED,
     &SINK_ERRORS,
+    &TIMESERIES_WINDOWS,
+    &TRACE_SPANS_STITCHED,
 ];
+
+/// One-line description of an instrument, for the Prometheus `# HELP`
+/// exposition. Covers the fixed taxonomy and the well-known registry
+/// names; anything else gets a generic line (the exposition format
+/// requires *some* HELP text, not a registry).
+pub fn help_for(name: &str) -> &'static str {
+    match name {
+        "exec.whatif_calls" => "Optimizer what-if invocations (advisory plans + DML costing).",
+        "exec.whatif_cache_hits" => "What-if evaluations answered from the memo cache.",
+        "exec.whatif_cache_misses" => "What-if evaluations that missed the memo cache.",
+        "exec.plans_evaluated" => "Planner invocations, advisory and execution-bound.",
+        "exec.statements" => "Statements run by the executor.",
+        "exec.rows_read" => "Rows examined by the executor.",
+        "exec.pages_read" => "Pages read by the executor.",
+        "exec.seeks" => "B+-tree descents performed by the executor.",
+        "exec.select_cost" => "Estimated cost of executed SELECT statements (latency proxy).",
+        "monitor.records" => "Executions ingested by the workload monitor.",
+        "aim.candidates_generated" => "Candidate indexes produced by structural generation.",
+        "aim.partial_order_merges" => "Pairwise partial-order merges that succeeded.",
+        "aim.validation_rounds" => "Clone-validation rounds executed.",
+        "aim.indexes_created" => "Indexes materialized on production by tuning passes.",
+        "aim.indexes_rejected" => "Candidates rejected during validation or materialization.",
+        "aim.regressions_detected" => "Regressions flagged by the continuous detector.",
+        "aim.retries" => "Phase retries after a transient failure.",
+        "aim.degraded_passes" => "Passes that finished in a degraded mode.",
+        "aim.passes_aborted" => "Passes aborted and rolled back.",
+        "selection.batch.count" => "Batched what-if evaluations.",
+        "selection.batch.binding_reuse" => "Batch members reusing the shared binding derivation.",
+        "selection.batch.plan_reuse" => "Batch members served by an identical-projection plan.",
+        "selection.lp.iterations" => "Simplex iterations performed by the LP selector.",
+        "telemetry.journal_dropped" => "Events evicted from the journal ring before being read.",
+        "telemetry.sink_errors" => "Event-sink write failures (events lost).",
+        "timeseries.windows" => "Time-series windows closed by timeseries ticks.",
+        "trace.spans_stitched" => "Worker span roots stitched into a parent profile.",
+        _ => "AIM telemetry instrument (no description registered).",
+    }
+}
 
 // ------------------------------------------------------------ registry
 

@@ -126,7 +126,10 @@ pub fn artifact_json(label: &str) -> String {
         }
         out.push_str(&event_json(e));
     }
-    let _ = write!(out, "],\"events_dropped\":{}}}", crate::journal::dropped());
+    let _ = write!(out, "],\"events_dropped\":{},", crate::journal::dropped());
+    out.push_str("\"timeseries\":");
+    out.push_str(&crate::timeseries::to_json(usize::MAX));
+    out.push('}');
     out
 }
 
@@ -189,11 +192,19 @@ pub fn render_profile(profile: &ProfileNode) -> String {
     out
 }
 
-/// Tabulates the non-zero instruments of a snapshot.
+/// Tabulates the non-zero instruments of a snapshot. Telemetry health
+/// meters are rendered even at zero: a report must show that the journal
+/// lost nothing and how much windowing/stitching happened, not silently
+/// omit them.
 pub fn render_counters(s: &Snapshot) -> String {
+    const ALWAYS: &[&str] = &[
+        "telemetry.journal_dropped",
+        "timeseries.windows",
+        "trace.spans_stitched",
+    ];
     let mut out = String::new();
     for (name, v) in &s.counters {
-        if *v > 0 {
+        if *v > 0 || ALWAYS.contains(&name.as_str()) {
             let _ = writeln!(out, "{name:<36} {v:>14}");
         }
     }

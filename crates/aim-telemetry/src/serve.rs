@@ -5,7 +5,7 @@
 //! Security posture: **off by default** — nothing listens unless the host
 //! process calls [`IntrospectionServer::start`] — and the listener binds
 //! `127.0.0.1` only, so the endpoint is never reachable off-box. It serves
-//! read-only GETs, holds no state of its own, and supports exactly four
+//! read-only GETs, holds no state of its own, and supports exactly six
 //! routes:
 //!
 //! * `/metrics` — counters, gauges and histograms in Prometheus text
@@ -14,6 +14,9 @@
 //! * `/journal` — the event ring buffer as a JSON array,
 //! * `/profile` — the published span tree (see
 //!   [`crate::publish_profile`]) as JSON,
+//! * `/timeseries` — the windowed metric ring from
+//!   [`crate::timeseries`] as JSON (`?n=K` limits to the last K windows),
+//! * `/trace` — the Chrome trace-event buffer from [`crate::trace`],
 //! * `/ledger` — whatever JSON document the host registered via
 //!   [`set_ledger_source`] (404 until a session registers one).
 
@@ -134,8 +137,11 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
+    let raw_path = parts.next().unwrap_or("");
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (raw_path, ""),
+    };
 
     let (status, content_type, body) = if method != "GET" {
         (
@@ -149,7 +155,7 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
                 "200 OK",
                 "text/plain; charset=utf-8",
                 "aim introspection endpoint\n\
-                 routes: /metrics /journal /profile /ledger\n"
+                 routes: /metrics /journal /profile /timeseries /trace /ledger\n"
                     .to_string(),
             ),
             "/metrics" => (
@@ -159,6 +165,15 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
             ),
             "/journal" => ("200 OK", "application/json", journal_body()),
             "/profile" => ("200 OK", "application/json", profile_body()),
+            "/timeseries" => {
+                let n = query_param(query, "n").unwrap_or(usize::MAX);
+                ("200 OK", "application/json", crate::timeseries::to_json(n))
+            }
+            "/trace" => (
+                "200 OK",
+                "application/json",
+                crate::trace::chrome_trace_json(),
+            ),
             "/ledger" => match ledger_json() {
                 Some(json) => ("200 OK", "application/json", json),
                 None => (
@@ -170,7 +185,9 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "unknown route (try /metrics, /journal, /profile, /ledger)\n".to_string(),
+                "unknown route (try /metrics, /journal, /profile, /timeseries, \
+                 /trace, /ledger)\n"
+                    .to_string(),
             ),
         }
     };
@@ -182,6 +199,14 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// First value of `key` in a raw query string (`a=1&b=2`), parsed as usize.
+fn query_param(query: &str, key: &str) -> Option<usize> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.parse().ok()).flatten()
+    })
 }
 
 fn journal_body() -> String {
@@ -234,21 +259,28 @@ fn prom_f64(v: f64) -> String {
 }
 
 /// Renders a metrics snapshot in Prometheus text exposition format
-/// (version 0.0.4). Histograms are exposed as summaries with the
-/// `p50/p90/p99` quantile estimates from the log₂ buckets.
+/// (version 0.0.4). Every family gets a `# HELP` line (from
+/// [`crate::metrics::help_for`]) followed by its `# TYPE`; histograms are
+/// exposed as summaries with the `p50/p90/p99` quantile estimates from
+/// the log₂ buckets.
 pub fn render_prometheus(s: &crate::metrics::Snapshot) -> String {
     let mut out = String::new();
     for (name, v) in &s.counters {
         let n = prom_name(name);
-        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        let help = crate::metrics::help_for(name);
+        out.push_str(&format!(
+            "# HELP {n} {help}\n# TYPE {n} counter\n{n} {v}\n"
+        ));
     }
     for (name, v) in &s.gauges {
         let n = prom_name(name);
-        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        let help = crate::metrics::help_for(name);
+        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} gauge\n{n} {v}\n"));
     }
     for (name, h) in &s.histograms {
         let n = prom_name(name);
-        out.push_str(&format!("# TYPE {n} summary\n"));
+        let help = crate::metrics::help_for(name);
+        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} summary\n"));
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
             out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", prom_f64(v)));
         }
@@ -282,10 +314,15 @@ mod tests {
             crate::metrics::histogram_record("exec.whatif_cost", v);
         }
         crate::journal::event(crate::EventKind::IndexAccepted, "aim_t_a", "why");
+        crate::trace::start_recording();
         {
             let _s = crate::span("pass");
         }
+        crate::trace::stop_recording();
         crate::publish_profile();
+        crate::timeseries::tick("w1");
+        crate::metrics::ROWS_READ.add(5);
+        crate::timeseries::tick("w2");
         crate::disable();
 
         let server = IntrospectionServer::start(0).expect("bind loopback");
@@ -318,6 +355,30 @@ mod tests {
         assert!(crate::jsonv::parse(&body).is_ok());
         assert!(body.contains("\"pass\""));
 
+        let (head, body) = get(addr, "/timeseries");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = crate::jsonv::parse(&body).expect("timeseries is JSON");
+        assert_eq!(parsed.get("windows").unwrap().as_arr().unwrap().len(), 2);
+        // ?n= limits to the most recent windows.
+        let (_, body) = get(addr, "/timeseries?n=1");
+        let parsed = crate::jsonv::parse(&body).expect("limited timeseries is JSON");
+        let windows = parsed.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].get("label").unwrap().as_str(), Some("w2"));
+        assert_eq!(
+            windows[0]
+                .path("counters/exec.rows_read/delta")
+                .and_then(crate::jsonv::Json::as_f64),
+            Some(5.0)
+        );
+
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = crate::jsonv::parse(&body).expect("trace is JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1, "the recorded span close shows up");
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("pass"));
+
         let (head, _) = get(addr, "/ledger");
         assert!(head.starts_with("HTTP/1.1 404"), "no ledger yet: {head}");
         set_ledger_source(|| "{\"passes\":0}".to_string());
@@ -333,6 +394,76 @@ mod tests {
         // The port is released: a fresh bind to the same port succeeds.
         let again = TcpListener::bind(addr);
         assert!(again.is_ok(), "listener thread still holds the port");
+        crate::reset();
+    }
+
+    /// Structural validation of the exposition format: every sample line
+    /// must be preceded by a `# HELP` and `# TYPE` for its family, names
+    /// must stay in the Prometheus alphabet, and values must be numeric.
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        use std::collections::{BTreeMap, BTreeSet};
+
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        crate::metrics::STATEMENTS_EXECUTED.add(12);
+        crate::metrics::counter_add("adhoc.with-dash", 1);
+        crate::metrics::gauge_set("db.index_bytes", 99);
+        for v in [2.0, 20.0, 200.0] {
+            crate::metrics::histogram_record("exec.select_cost", v);
+        }
+        crate::disable();
+
+        let text = render_prometheus(&crate::metrics::snapshot());
+        let mut helped: BTreeSet<String> = BTreeSet::new();
+        let mut typed: BTreeMap<String, String> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP carries text");
+                assert!(!help.trim().is_empty(), "empty HELP for {name}");
+                helped.insert(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, ty) = rest.split_once(' ').expect("TYPE carries a type");
+                assert!(
+                    ["counter", "gauge", "summary"].contains(&ty),
+                    "unknown type {ty}"
+                );
+                assert!(helped.contains(name), "HELP must precede TYPE for {name}");
+                typed.insert(name.to_string(), ty.to_string());
+            } else {
+                let mut parts = line.split(' ');
+                let name_with_labels = parts.next().expect("sample name");
+                let value = parts.next().expect("sample value");
+                assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+                value.parse::<f64>().unwrap_or_else(|_| {
+                    panic!("non-numeric sample value in {line:?}")
+                });
+                let name = name_with_labels.split('{').next().unwrap();
+                assert!(name.starts_with("aim_"), "unprefixed name {name}");
+                assert!(
+                    name.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                    "name {name} outside the Prometheus alphabet"
+                );
+                // Summary _sum/_count samples belong to their base family.
+                let base = name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|b| typed.get(*b).map(String::as_str) == Some("summary"))
+                    .unwrap_or(name);
+                assert!(typed.contains_key(base), "TYPE must precede sample {name}");
+                assert!(helped.contains(base), "HELP must precede sample {name}");
+            }
+        }
+        // The new counters are part of the fixed taxonomy and always appear.
+        for family in [
+            "aim_timeseries_windows",
+            "aim_trace_spans_stitched",
+            "aim_telemetry_journal_dropped",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+        }
         crate::reset();
     }
 }

@@ -80,16 +80,31 @@ fn close_top(state: &mut SpanState) {
     let Some(frame) = state.stack.pop() else {
         return;
     };
+    let total = frame.start.elapsed();
+    crate::trace::record_closed(frame.name, frame.start, total);
     let node = ProfileNode {
         name: frame.name.to_string(),
         count: 1,
-        total: frame.start.elapsed(),
+        total,
         children: frame.children,
     };
     match state.stack.last_mut() {
         Some(parent) => merge_node(&mut parent.children, node),
         None => merge_node(&mut state.finished, node),
     }
+}
+
+/// Merges an externally produced subtree — a worker profile stitched back
+/// by [`crate::trace::TraceContext::stitch`] — into this thread's currently
+/// open span frame, or into the finished roots when no span is open.
+pub(crate) fn graft(node: ProfileNode) {
+    let _ = STATE.try_with(|s| {
+        let mut s = s.borrow_mut();
+        match s.stack.last_mut() {
+            Some(frame) => merge_node(&mut frame.children, node),
+            None => merge_node(&mut s.finished, node),
+        }
+    });
 }
 
 /// A live span. Dropping it records the elapsed time into the phase tree.

@@ -43,4 +43,10 @@ echo "== selection smoke (batched costing & LP-selection gate)"
 # path shows no speedup or a repeated batch never hits the what-if cache.
 ./target/release/bench_selection smoke
 
+echo "== observe smoke (telemetry overhead gate)"
+# Times the same point-select loop with telemetry absent vs disarmed (every
+# hook invoked, all no-ops) vs armed+recording, interleaved with rotating
+# order; exits non-zero when the disarmed overhead exceeds the smoke bound.
+./target/release/bench_observe smoke
+
 echo "== ci: all checks passed"
