@@ -35,6 +35,12 @@
 //! # /trace, /ledger) and a Chrome trace written on exit
 //! cargo run -p aim-bench --bin aim_cli --release -- \
 //!     continuous tpch --windows 3 --serve 7800 --trace-out results/trace_tpch.json
+//!
+//! # tune a Zipf-skewed tenant fleet through one FleetSession run
+//! # (fleet-level knapsack budget allocation; --uniform for the fixed
+//! # per-shard split), optionally serving /metrics and /timeseries live
+//! cargo run -p aim-bench --bin aim_cli --release -- \
+//!     fleet --tenants 32 --skew 1.2 --selection lp --serve 7800
 //! ```
 
 use aim_core::{AimConfig, BackendSpec, SelectionStrategy, TuningSession};
@@ -91,6 +97,10 @@ fn main() {
         }
         Some("continuous") => {
             run_continuous(&args[1..], strategy, trace_out.as_deref());
+            return;
+        }
+        Some("fleet") => {
+            run_fleet(&args[1..], strategy);
             return;
         }
         _ => {}
@@ -585,6 +595,140 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy, trace_out: Optio
         server.shutdown();
     }
     aim_telemetry::clear_ledger_source();
+    aim_telemetry::disable();
+}
+
+/// `fleet [--tenants N] [--skew S] [--workers W] [--uniform] [--serve PORT]`:
+/// generate a Zipf-skewed tenant fleet, tune it through a single
+/// [`aim_core::FleetSession`] run (fleet-level knapsack budget allocation
+/// unless `--uniform`), and print per-tenant outcomes plus the fleet
+/// counters. `--serve` exposes the live introspection endpoint
+/// (/metrics, /timeseries) for the duration of the run and holds it open
+/// until stdin closes.
+fn run_fleet(args: &[String], strategy: SelectionStrategy) {
+    let mut tenants = 16usize;
+    let mut skew = 1.0f64;
+    let mut workers = 0usize;
+    let mut allocation = aim_core::fleet::BudgetAllocation::Knapsack;
+    let mut serve: Option<u16> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenants" => {
+                i += 1;
+                tenants = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tenants needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--skew" => {
+                i += 1;
+                skew = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--skew needs a Zipf exponent (e.g. 1.0)");
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers needs a number (0 = one per core)");
+                    std::process::exit(2);
+                });
+            }
+            "--uniform" => allocation = aim_core::fleet::BudgetAllocation::Uniform,
+            "--serve" => {
+                i += 1;
+                serve = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--serve needs a port");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --tenants/--skew/--workers/--uniform/--serve)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    aim_telemetry::reset();
+    aim_telemetry::enable();
+    let server = serve.map(|port| match aim_telemetry::IntrospectionServer::start(port) {
+        Ok(s) => {
+            println!(
+                "introspection endpoint: http://{} (/metrics /timeseries)",
+                s.addr()
+            );
+            s
+        }
+        Err(e) => {
+            eprintln!("--serve {port}: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    println!("generating fleet: {tenants} tenants, Zipf s = {skew}");
+    let spec = aim_workloads::fleet::FleetSpec {
+        tenants,
+        zipf_s: skew,
+        ..Default::default()
+    };
+    let workloads = aim_workloads::fleet::generate_fleet(&spec);
+    let mut fleet: Vec<aim_core::fleet::Tenant> =
+        workloads.into_iter().map(|w| w.tenant).collect();
+
+    let base = AimConfig::builder()
+        .selection(SelectionConfig {
+            min_executions: 1,
+            min_benefit: 0.0,
+            ..Default::default()
+        })
+        .selection_strategy(strategy)
+        .build();
+    let session = aim_core::fleet::FleetConfig::builder()
+        .base(base)
+        .fleet_workers(workers)
+        .allocation(allocation)
+        .session();
+    let outcome = session.run(&mut fleet);
+
+    for t in &outcome.tenants {
+        match &t.result {
+            Ok(o) => println!(
+                "  {}: budget {:>10} | {} created, {} rejected | {} seeded orders | {:.1} ms",
+                t.id,
+                t.budget,
+                o.created.len(),
+                o.rejected.len(),
+                t.seeded_orders,
+                o.elapsed.as_secs_f64() * 1e3
+            ),
+            Err(e) => println!("  {}: FAILED: {e}", t.id),
+        }
+    }
+    println!(
+        "fleet: {}/{} tuned in {:.1} ms | {} budget transfers ({} bytes) | {} seed orders",
+        outcome.tuned(),
+        outcome.tenants.len(),
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.budget_transfers,
+        outcome.transferred_bytes,
+        outcome.seeded_orders,
+    );
+    print!(
+        "{}",
+        aim_telemetry::render_counters(&aim_telemetry::snapshot())
+    );
+
+    if let Some(server) = server {
+        println!(
+            "endpoint still serving on http://{}; press Enter (or close stdin) to exit",
+            server.addr()
+        );
+        let mut line = String::new();
+        let _ = std::io::stdin().lock().read_line(&mut line);
+        server.shutdown();
+    }
     aim_telemetry::disable();
 }
 

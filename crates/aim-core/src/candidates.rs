@@ -76,6 +76,13 @@ pub struct CandidateGenConfig {
     /// threshold") — ranking then prefers the narrower index when the wide
     /// one buys nothing. `0.0` disables relaxation.
     pub ipp_relaxation_rows: f64,
+    /// Cross-shard seed orders `(table, partial order)` exported by hotter
+    /// tenants of the same fleet (see
+    /// [`crate::partial_order::merge_cross_shard`]). Seeds only ever
+    /// *widen* locally derived orders — a seed that merges with no local
+    /// order produces no candidate, so a shard never builds an index it
+    /// has zero local evidence for. Empty (no seeding) by default.
+    pub seed_orders: Vec<(String, PartialOrder)>,
 }
 
 impl Default for CandidateGenConfig {
@@ -89,6 +96,7 @@ impl Default for CandidateGenConfig {
             use_stats: true,
             switches: aim_exec::OptimizerSwitches::default(),
             ipp_relaxation_rows: 2.0,
+            seed_orders: Vec::new(),
         }
     }
 }
@@ -574,6 +582,46 @@ pub fn try_generate_candidates(
         by_table.entry(c.table.clone()).or_default().push(c);
     }
 
+    // Cross-shard seeding (fleet tuning): seed orders from hotter tenants
+    // widen this shard's locally derived orders. The derived orders carry
+    // no sources of their own — provenance attaches below only when a
+    // local order is served by the widened one, so a seed with no local
+    // evidence cannot produce a candidate.
+    if !cfg.seed_orders.is_empty() {
+        for (table, cands) in by_table.iter_mut() {
+            let seeds: Vec<PartialOrder> = cfg
+                .seed_orders
+                .iter()
+                .filter(|(t, _)| t == table)
+                .map(|(_, po)| po.clone())
+                .collect();
+            if seeds.is_empty() {
+                continue;
+            }
+            let local: Vec<PartialOrder> = cands.iter().map(|c| c.po.clone()).collect();
+            let derived = crate::partial_order::merge_cross_shard(&local, &seeds);
+            if !derived.is_empty() && aim_telemetry::is_enabled() {
+                aim_telemetry::event(
+                    aim_telemetry::EventKind::CandidateMerged,
+                    table.clone(),
+                    format!(
+                        "cross-shard seeding: {} seed orders widened {} local orders into {}",
+                        seeds.len(),
+                        local.len(),
+                        derived.len()
+                    ),
+                );
+            }
+            for po in derived {
+                cands.push(CandidatePO {
+                    table: table.clone(),
+                    po,
+                    sources: BTreeSet::new(),
+                });
+            }
+        }
+    }
+
     let mut out: BTreeMap<(String, Vec<String>), CandidateIndex> = BTreeMap::new();
     for (table, cands) in by_table {
         let orders: Vec<PartialOrder> = cands.iter().map(|c| c.po.clone()).collect();
@@ -812,6 +860,46 @@ mod tests {
             merged.columns[..2].iter().map(String::as_str).collect();
         assert_eq!(first_two, ["col2", "col3"].into());
         assert_eq!(merged.columns[2], "col1");
+    }
+
+    #[test]
+    fn seed_orders_widen_local_candidates_without_standalone_seeds() {
+        let mut db = db();
+        // Local evidence: equality on col1 only -> narrow <{col1}>.
+        let w = workload(&mut db, &[("SELECT id FROM t1 WHERE col1 = 1", 3)]);
+        let seeded_cfg = CandidateGenConfig {
+            seed_orders: vec![
+                // A hot shard's wide composite over {col1, col2}: merges
+                // with the local <{col1}> into (col1, col2).
+                (
+                    "t1".to_string(),
+                    PartialOrder::new([vec!["col1"], vec!["col2"]]).unwrap(),
+                ),
+                // A seed with no local evidence at all must not surface.
+                (
+                    "t1".to_string(),
+                    PartialOrder::unordered(["col3", "col4"]).unwrap(),
+                ),
+            ],
+            ..Default::default()
+        };
+        let cands = generate_candidates(&db, &w, &seeded_cfg);
+        let wide = cands
+            .iter()
+            .find(|c| c.columns == vec!["col1".to_string(), "col2".to_string()])
+            .expect("seeded wide candidate generated");
+        // Provenance comes from the local query that the widened order serves.
+        assert_eq!(wide.sources.len(), 1);
+        assert!(
+            !cands.iter().any(|c| c.columns.contains(&"col3".to_string())
+                || c.columns.contains(&"col4".to_string())),
+            "evidence-free seed must not become a candidate: {cands:?}"
+        );
+        // Without seeding the wide candidate does not exist.
+        let unseeded = generate_candidates(&db, &w, &CandidateGenConfig::default());
+        assert!(!unseeded
+            .iter()
+            .any(|c| c.columns == vec!["col1".to_string(), "col2".to_string()]));
     }
 
     #[test]

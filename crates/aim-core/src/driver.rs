@@ -18,17 +18,19 @@
 //! counts, `TryCoveringIndex` flips qualifying queries to covering mode.
 //!
 //! This module keeps the pass's configuration ([`AimConfig`]), result
-//! ([`AimOutcome`]) and the legacy [`Aim`] handle whose deprecated
-//! [`Aim::tune`] forwards to a default session.
+//! ([`AimOutcome`]) and the [`Aim`] pair (config + engine) that sessions
+//! wrap. Multi-tenant fleets run many sessions at once through
+//! [`FleetSession`](crate::fleet::FleetSession), whose 1-tenant form is
+//! the canonical single-database entry path.
 
 use crate::backend::BackendSpec;
 use crate::candidates::CandidateGenConfig;
-use crate::session::{AimConfigBuilder, TuningSession};
+use crate::session::AimConfigBuilder;
 use crate::sharding::ShardingProfile;
 use crate::validate::ValidationConfig;
-use aim_exec::{Engine, ExecError};
-use aim_monitor::{SelectionConfig, WorkloadMonitor};
-use aim_storage::{Database, IndexDef};
+use aim_exec::Engine;
+use aim_monitor::SelectionConfig;
+use aim_storage::IndexDef;
 use std::time::Duration;
 
 /// How the final index set is chosen from the ranked candidates.
@@ -152,10 +154,12 @@ pub struct AimOutcome {
     pub degraded: bool,
 }
 
-/// The Automatic Index Manager (legacy handle).
+/// The configuration + execution-engine pair a
+/// [`TuningSession`](crate::session::TuningSession) wraps.
 ///
-/// New code should build a [`TuningSession`] via [`AimConfig::builder`];
-/// `Aim` remains as the configuration+engine pair the session wraps.
+/// Not an entry point on its own: build sessions via
+/// [`AimConfig::builder`], or fleets via
+/// [`FleetSession`](crate::fleet::FleetSession).
 #[derive(Debug, Clone, Default)]
 pub struct Aim {
     pub config: AimConfig,
@@ -170,30 +174,15 @@ impl Aim {
             engine: Engine::new(),
         }
     }
-
-    /// Runs one tuning pass against `db`, consuming the monitor's current
-    /// observation window. Created indexes are materialized on `db`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a TuningSession via AimConfig::builder() (deadline, \
-                cancellation, retry and rollback semantics) and call its run()"
-    )]
-    pub fn tune(
-        &self,
-        db: &mut Database,
-        monitor: &WorkloadMonitor,
-    ) -> Result<AimOutcome, ExecError> {
-        TuningSession::from_aim(self.clone())
-            .run(db, monitor)
-            .map_err(crate::error::AimError::into_exec)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::TuningSession;
+    use aim_monitor::WorkloadMonitor;
     use aim_sql::parse_statement;
-    use aim_storage::{ColumnDef, ColumnType, IoStats, TableSchema, Value};
+    use aim_storage::{ColumnDef, ColumnType, Database, IoStats, TableSchema, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -288,17 +277,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_tune_shim_still_works() {
-        let mut db = db();
-        let mut monitor = WorkloadMonitor::new();
-        observe(&mut db, &mut monitor, "SELECT id FROM orders WHERE customer = 42", 20);
-        let aim = Aim::new(AimConfig::builder().selection(quick_selection()).build());
-        #[allow(deprecated)]
-        let outcome = aim.tune(&mut db, &monitor).unwrap();
-        assert!(!outcome.created.is_empty());
-    }
-
-    #[test]
     fn storage_budget_limits_creation() {
         let mut db = db();
         let mut monitor = WorkloadMonitor::new();
@@ -363,7 +341,7 @@ mod tests {
         profile.set_hit_fraction(fp, 0.001);
         let sharded_session = AimConfig::builder()
             .selection(quick_selection())
-            .sharding(Some(profile))
+            .sharding(profile)
             .session();
         let outcome = sharded_session.run(&mut db, &monitor).unwrap();
         assert!(

@@ -73,10 +73,9 @@ impl AimError {
         )
     }
 
-    /// Lossy mapping back to the execution-layer error, for the deprecated
-    /// [`Aim::tune`](crate::driver::Aim::tune) shim. Deadline/cancel aborts
-    /// (impossible through the shim, which configures neither) degrade to
-    /// [`ExecError::Eval`].
+    /// Lossy mapping back to the execution-layer error, for code paths
+    /// (e.g. validation replay) that report through [`ExecError`].
+    /// Deadline/cancel aborts degrade to [`ExecError::Eval`].
     pub fn into_exec(self) -> ExecError {
         match self {
             AimError::Exec { source, .. } => source,

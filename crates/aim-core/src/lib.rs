@@ -20,10 +20,14 @@
 //!    regression-driven reverts, unused-index garbage collection.
 //!
 //! [`session::TuningSession`] (built via [`driver::AimConfig::builder`]) is
-//! the production entry point: it runs the pipeline under an optional
+//! the per-database entry point: it runs the pipeline under an optional
 //! deadline and cancel token, retries transient faults with backoff, and
 //! rolls back anything an aborted pass materialized ([`error::AimError`]
-//! describes the failure). [`advisor::AimAdvisor`] runs the same algorithm
+//! describes the failure). [`fleet::FleetSession`] scales it horizontally —
+//! N tenants on a bounded worker pool, cross-shard candidate seeding, and
+//! fleet-level storage-budget allocation — and its 1-tenant form is
+//! bit-identical to a bare session, making `FleetSession → TuningSession`
+//! the single entry path. [`advisor::AimAdvisor`] runs the same algorithm
 //! as a pure advisor over weighted analytical workloads for benchmark
 //! comparisons against baselines.
 //!
@@ -72,6 +76,7 @@ pub mod candidates;
 pub mod continuous;
 pub mod driver;
 pub mod error;
+pub mod fleet;
 pub mod ledger;
 pub mod metadata;
 pub mod partial_order;
@@ -97,9 +102,13 @@ pub use continuous::{
 pub use backend::BackendSpec;
 pub use driver::{Aim, AimConfig, AimOutcome, CreatedIndex, SelectionStrategy};
 pub use error::AimError;
+pub use fleet::{
+    BudgetAllocation, FleetConfig, FleetConfigBuilder, FleetOutcome, FleetSession, Tenant,
+    TenantOutcome,
+};
 pub use ledger::{CandidateRecord, DecisionLedger, LedgerEvent};
 pub use metadata::{analyze_structure, FactorGroup, OpClass, QueryStructure, TableInfo};
-pub use partial_order::{merge_partial_orders, PartialOrder};
+pub use partial_order::{merge_cross_shard, merge_partial_orders, PartialOrder};
 pub use ranking::{
     knapsack_select, knapsack_select_explained, rank_candidates, rank_candidates_unbatched,
     rank_candidates_with, try_rank_candidates_with, KnapsackDecision, RankedCandidate,

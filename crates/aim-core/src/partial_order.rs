@@ -311,6 +311,32 @@ pub fn merge_partial_orders(orders: &[PartialOrder], keep_absorbed: bool) -> Vec
         .collect()
 }
 
+/// Cross-shard merge (fleet tuning): combines a *cold* tenant's locally
+/// derived partial orders with seed orders exported by hotter tenants of
+/// the same fleet, returning only the **new** orders such merges produce.
+///
+/// Seeds never become candidates on their own — a cold shard must not
+/// build an index it has zero local evidence for. What a seed does is
+/// widen local orders: a cold shard that only observed `WHERE a = ?` has
+/// the narrow order `<{a}>`; a hot shard's seed `<{a}, {b}>` merges with
+/// it into the wide composite the cold shard would have needed many more
+/// observations to derive on its own. Orders already present locally are
+/// not re-emitted, so callers can append the result to their local pool.
+pub fn merge_cross_shard(local: &[PartialOrder], seeds: &[PartialOrder]) -> Vec<PartialOrder> {
+    let local_set: BTreeSet<&PartialOrder> = local.iter().collect();
+    let mut out: BTreeSet<PartialOrder> = BTreeSet::new();
+    for l in local {
+        for s in seeds {
+            for m in [l.merge_pairwise(s), s.merge_pairwise(l)].into_iter().flatten() {
+                if !local_set.contains(&m) && out.insert(m) {
+                    aim_telemetry::metrics::PO_MERGES.incr();
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +464,43 @@ mod tests {
         // The merged wide order is present; exact subset components that
         // the merge fully absorbs can be dropped.
         assert!(merged.contains(&po(&[&["col2", "col3"], &["col1"]])));
+    }
+
+    #[test]
+    fn cross_shard_merge_widens_local_orders_only() {
+        // Local cold-shard evidence: <{a}>. Hot-shard seed: <{a}, {b}>.
+        let local = vec![po(&[&["a"]])];
+        let seeds = vec![po(&[&["a"], &["b"]])];
+        let merged = merge_cross_shard(&local, &seeds);
+        assert_eq!(merged, vec![po(&[&["a"], &["b"]])]);
+    }
+
+    #[test]
+    fn cross_shard_merge_emits_nothing_without_local_evidence() {
+        // No local orders: seeds alone must not produce candidates.
+        let merged = merge_cross_shard(&[], &[po(&[&["x", "y"]])]);
+        assert!(merged.is_empty());
+        // A seed on disjoint columns cannot merge with local evidence.
+        let merged = merge_cross_shard(&[po(&[&["a"]])], &[po(&[&["x", "y"]])]);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn cross_shard_merge_skips_orders_already_local() {
+        let wide = po(&[&["a", "b"]]);
+        let merged =
+            merge_cross_shard(std::slice::from_ref(&wide), std::slice::from_ref(&wide));
+        // Merging an order with itself yields itself — already local, so
+        // nothing new is emitted.
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn cross_shard_merge_respects_order_conflicts() {
+        // Local wants a before b; the seed wants b before a: no merge.
+        let local = vec![po(&[&["a"], &["b"]])];
+        let seeds = vec![po(&[&["b"], &["a"], &["c"]])];
+        assert!(merge_cross_shard(&local, &seeds).is_empty());
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Resilient tuning sessions: the production entry point to the advisor.
 //!
-//! [`TuningSession`] runs the same pipeline as the original `Aim::tune`
-//! pass — workload selection → candidate generation → ranking → knapsack →
-//! clone validation → materialization — but hardened for an environment
-//! where the infrastructure misbehaves:
+//! [`TuningSession`] runs one tuning pass — workload selection → candidate
+//! generation → ranking → knapsack → clone validation → materialization —
+//! hardened for an environment where the infrastructure misbehaves:
 //!
 //! * **Deadline & cancellation.** A [`RunCtl`] (per-pass deadline plus a
 //!   shareable [`CancelToken`]) is threaded through candidate generation,
@@ -195,9 +194,12 @@ impl AimConfigBuilder {
         self
     }
 
-    /// Sharding economics (§VIII-b).
-    pub fn sharding(mut self, profile: Option<crate::sharding::ShardingProfile>) -> Self {
-        self.cfg.sharding = profile;
+    /// Sharding economics (§VIII-b): re-price candidates for a sharded
+    /// deployment. The profile is a first-class config input — build it
+    /// with the chainable [`ShardingProfile`](crate::sharding::ShardingProfile)
+    /// setters and pass it here; omit the call for an unsharded database.
+    pub fn sharding(mut self, profile: crate::sharding::ShardingProfile) -> Self {
+        self.cfg.sharding = Some(profile);
         self
     }
 
@@ -318,6 +320,15 @@ impl TuningSession {
     /// at that point but shares nothing; cloning the *token* shares it.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Replaces this session's cancellation token with a shared one, so
+    /// an external controller (e.g. a [`FleetSession`](crate::fleet::FleetSession)
+    /// fanning out many per-tenant sessions) can cancel them all with a
+    /// single flag. After this call, [`TuningSession::cancel_token`]
+    /// returns handles to the shared token.
+    pub fn share_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     /// Replaces the per-pass deadline.

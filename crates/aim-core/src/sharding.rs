@@ -36,6 +36,12 @@ pub struct ShardingProfile {
 impl ShardingProfile {
     /// Profile for `shard_count` shards; unprofiled queries are assumed to
     /// run everywhere (conservative: over-values benefits).
+    ///
+    /// `shard_count == 0` does not describe a deployment — there is no
+    /// fleet with zero shards — so it is normalized to `1`, i.e. a single
+    /// unsharded database whose [`ShardingProfile::apply`] re-pricing is
+    /// the identity on maintenance and storage. Pass the real shard count
+    /// for any actual fleet.
     pub fn new(shard_count: u64) -> Self {
         Self {
             shard_count: shard_count.max(1),
@@ -44,17 +50,45 @@ impl ShardingProfile {
         }
     }
 
+    /// Chainable form of [`ShardingProfile::set_hit_fraction`], for
+    /// building a profile as a first-class
+    /// [`AimConfig::builder().sharding(...)`](crate::AimConfig::builder)
+    /// input:
+    ///
+    /// ```ignore
+    /// let profile = ShardingProfile::new(1000)
+    ///     .with_hit_fraction(fp, 0.001)
+    ///     .with_default_hit_fraction(0.5);
+    /// let session = AimConfig::builder().sharding(profile).session();
+    /// ```
+    pub fn with_hit_fraction(mut self, query: QueryFingerprint, fraction: f64) -> Self {
+        self.set_hit_fraction(query, fraction);
+        self
+    }
+
+    /// Chainable setter for the hit fraction assumed for unprofiled
+    /// queries (clamped to `0.0..=1.0`).
+    pub fn with_default_hit_fraction(mut self, fraction: f64) -> Self {
+        self.default_hit_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
     /// Records that `query` executes on `fraction` of the shards.
     pub fn set_hit_fraction(&mut self, query: QueryFingerprint, fraction: f64) {
         self.hit_fractions.insert(query, fraction.clamp(0.0, 1.0));
     }
 
-    /// Hit fraction for a query.
+    /// Hit fraction for a query, always in `0.0..=1.0`: recorded fractions
+    /// are clamped on insert, and the clamp is re-applied here so an
+    /// out-of-range [`ShardingProfile::default_hit_fraction`] written
+    /// directly to the public field cannot leak a fraction outside the
+    /// meaningful range into the benefit scaling.
     pub fn hit_fraction(&self, query: QueryFingerprint) -> f64 {
         self.hit_fractions
             .get(&query)
             .copied()
             .unwrap_or(self.default_hit_fraction)
+            .clamp(0.0, 1.0)
     }
 
     /// Re-prices ranked candidates for this sharded deployment and re-sorts

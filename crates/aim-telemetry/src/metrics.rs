@@ -115,6 +115,16 @@ pub static TIMESERIES_WINDOWS: Counter = Counter::new("timeseries.windows");
 /// Worker span roots stitched into a parent profile by
 /// [`crate::trace::TraceContext::stitch`].
 pub static TRACE_SPANS_STITCHED: Counter = Counter::new("trace.spans_stitched");
+/// Tenants whose tuning pass completed inside a fleet run.
+pub static FLEET_SHARDS_TUNED: Counter = Counter::new("fleet.shards_tuned");
+/// Tenants granted more than the uniform per-shard budget share by the
+/// fleet-level knapsack allocation.
+pub static FLEET_BUDGET_TRANSFERS: Counter = Counter::new("fleet.budget_transfers");
+/// Cross-shard seed partial orders handed from hot to cold tenants.
+pub static FLEET_SEEDED_ORDERS: Counter = Counter::new("fleet.seeded_orders");
+/// Tenant tuning passes that failed inside a fleet run (the fleet
+/// continues; the failure is isolated to the tenant).
+pub static FLEET_TENANT_FAILURES: Counter = Counter::new("fleet.tenant_failures");
 
 static BUILTIN: &[&Counter] = &[
     &WHATIF_CALLS,
@@ -143,6 +153,10 @@ static BUILTIN: &[&Counter] = &[
     &SINK_ERRORS,
     &TIMESERIES_WINDOWS,
     &TRACE_SPANS_STITCHED,
+    &FLEET_SHARDS_TUNED,
+    &FLEET_BUDGET_TRANSFERS,
+    &FLEET_SEEDED_ORDERS,
+    &FLEET_TENANT_FAILURES,
 ];
 
 /// One-line description of an instrument, for the Prometheus `# HELP`
@@ -178,6 +192,10 @@ pub fn help_for(name: &str) -> &'static str {
         "telemetry.sink_errors" => "Event-sink write failures (events lost).",
         "timeseries.windows" => "Time-series windows closed by timeseries ticks.",
         "trace.spans_stitched" => "Worker span roots stitched into a parent profile.",
+        "fleet.shards_tuned" => "Tenant tuning passes completed inside fleet runs.",
+        "fleet.budget_transfers" => "Tenants granted more than the uniform budget share.",
+        "fleet.seeded_orders" => "Cross-shard seed partial orders handed to cold tenants.",
+        "fleet.tenant_failures" => "Tenant tuning passes that failed inside fleet runs.",
         _ => "AIM telemetry instrument (no description registered).",
     }
 }

@@ -2,6 +2,8 @@
 //!
 //! * [`datagen`] — deterministic row generators (uniform, Zipf,
 //!   categorical, foreign-key).
+//! * [`fleet`] — Zipf-skewed tenant fleets (sizes *and* traffic follow the
+//!   skew) for fleet-scale tuning benchmarks.
 //! * [`tpch`] — scaled-down TPC-H-like schema and the 22 query shapes
 //!   (Figures 4a/4b and 5).
 //! * [`tpcds`] — TPC-DS-like snowflake with two sales channels (the
@@ -18,6 +20,7 @@
 //!   (std-only; the workspace builds without external crates).
 
 pub mod datagen;
+pub mod fleet;
 pub mod job;
 pub mod join_heavy;
 pub mod production;
@@ -27,5 +30,6 @@ pub mod tpcds;
 pub mod tpch;
 
 pub use datagen::{Distribution, RowGenerator};
+pub use fleet::{generate_fleet, FleetSpec, TenantWorkload};
 pub use production::{profiles, ProductionProfile, ProductionWorkload, WorkloadType};
 pub use replay::{QuerySpec, Replayer, TickSample};

@@ -49,4 +49,12 @@ echo "== observe smoke (telemetry overhead gate)"
 # order; exits non-zero when the disarmed overhead exceeds the smoke bound.
 ./target/release/bench_observe smoke
 
+echo "== fleet smoke (fleet-scale budget-allocation gate)"
+# Tunes a 12-tenant Zipf-skewed fleet through the FleetSession driver:
+# every tenant must converge, the fleet-level knapsack split must not lose
+# to the uniform per-shard split, budget must actually move beyond the
+# uniform share, and the emitted artifact must be well-formed JSON
+# (validated in-process via aim_telemetry::jsonv).
+./target/release/bench_fleet smoke
+
 echo "== ci: all checks passed"
