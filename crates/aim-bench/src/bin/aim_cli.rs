@@ -603,8 +603,11 @@ fn run_continuous(args: &[String], strategy: SelectionStrategy, trace_out: Optio
 /// [`aim_core::FleetSession`] run (fleet-level knapsack budget allocation
 /// unless `--uniform`), and print per-tenant outcomes plus the fleet
 /// counters. `--serve` exposes the live introspection endpoint
-/// (/metrics, /timeseries) for the duration of the run and holds it open
-/// until stdin closes.
+/// (/metrics with per-tenant labels, /timeseries, /fleet per-tenant
+/// rollups — `?sort=`/`?top=N` — and /alerts SLO burn rates; a default
+/// per-tenant p99 select-latency SLO is registered so /alerts has a rule
+/// to evaluate) for the duration of the run and holds it open until stdin
+/// closes.
 fn run_fleet(args: &[String], strategy: SelectionStrategy) {
     let mut tenants = 16usize;
     let mut skew = 1.0f64;
@@ -655,8 +658,13 @@ fn run_fleet(args: &[String], strategy: SelectionStrategy) {
     aim_telemetry::enable();
     let server = serve.map(|port| match aim_telemetry::IntrospectionServer::start(port) {
         Ok(s) => {
+            // Give /alerts something real to evaluate: a per-tenant p99
+            // SLO on windowed select cost.
+            aim_telemetry::slo::register(
+                aim_telemetry::SloRule::new("fleet-select-p99", "exec.select_cost", 1000.0),
+            );
             println!(
-                "introspection endpoint: http://{} (/metrics /timeseries)",
+                "introspection endpoint: http://{} (/metrics /timeseries /fleet /alerts)",
                 s.addr()
             );
             s
@@ -715,6 +723,13 @@ fn run_fleet(args: &[String], strategy: SelectionStrategy) {
         outcome.transferred_bytes,
         outcome.seeded_orders,
     );
+    if let Some((slow_id, slow)) = &outcome.slowest_tenant {
+        println!(
+            "straggler: {} gated the pool at {:.1} ms",
+            slow_id,
+            slow.as_secs_f64() * 1e3
+        );
+    }
     print!(
         "{}",
         aim_telemetry::render_counters(&aim_telemetry::snapshot())

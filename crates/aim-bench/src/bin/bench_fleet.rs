@@ -96,11 +96,32 @@ fn created_bytes(outcome: &FleetOutcome) -> u64 {
         .sum()
 }
 
+/// Straggler skew: the slowest tenant's tune-slot wall time over the mean
+/// slot — the factor by which one tenant gates the pool's wall clock.
+fn straggler_skew(outcome: &FleetOutcome) -> (String, f64, f64) {
+    let Some((id, slowest)) = &outcome.slowest_tenant else {
+        return (String::new(), 0.0, 0.0);
+    };
+    let n = outcome.tenants.len().max(1) as f64;
+    let mean_s = outcome
+        .tenants
+        .iter()
+        .map(|t| t.elapsed.as_secs_f64())
+        .sum::<f64>()
+        / n;
+    let slowest_s = slowest.as_secs_f64();
+    let skew = if mean_s > 0.0 { slowest_s / mean_s } else { 0.0 };
+    (id.clone(), slowest_s * 1e3, skew)
+}
+
 fn report_json(r: &RunReport) -> String {
+    let (slow_id, slow_ms, skew) = straggler_skew(&r.outcome);
     format!(
         "{{ \"label\": \"{}\", \"total_cost\": {:.4}, \"tuned\": {}, \"failed\": {}, \
          \"elapsed_s\": {:.6}, \"shards_per_s\": {:.2}, \"budget_transfers\": {}, \
-         \"transferred_bytes\": {}, \"seeded_orders\": {}, \"created_bytes\": {} }}",
+         \"transferred_bytes\": {}, \"seeded_orders\": {}, \"created_bytes\": {}, \
+         \"slowest_tenant\": \"{}\", \"slowest_tenant_ms\": {:.3}, \
+         \"straggler_skew\": {:.3} }}",
         r.label,
         r.cost,
         r.outcome.tuned(),
@@ -111,6 +132,9 @@ fn report_json(r: &RunReport) -> String {
         r.outcome.transferred_bytes,
         r.outcome.seeded_orders,
         created_bytes(&r.outcome),
+        slow_id,
+        slow_ms,
+        skew,
     )
 }
 
@@ -204,9 +228,10 @@ fn main() {
         .into_iter()
         .chain(lp.as_ref())
     {
+        let (slow_id, slow_ms, skew) = straggler_skew(&r.outcome);
         println!(
             "{:>14}: cost {:>12.1} | {}/{} tuned | {:.1} shards/s | {} transfers \
-             ({} bytes) | {} seed orders",
+             ({} bytes) | {} seed orders | straggler {} {:.1}ms ({:.2}x mean)",
             r.label,
             r.cost,
             r.outcome.tuned(),
@@ -215,6 +240,9 @@ fn main() {
             r.outcome.budget_transfers,
             r.outcome.transferred_bytes,
             r.outcome.seeded_orders,
+            slow_id,
+            slow_ms,
+            skew,
         );
     }
     println!(

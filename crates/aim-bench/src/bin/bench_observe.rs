@@ -14,14 +14,20 @@
 //!   sentinel observation per batch, and a trace fork/adopt/stitch cycle
 //!   per batch. Every call is a no-op; this measures the no-op tax.
 //! * **armed** — telemetry enabled *and* chrome-trace recording on, the
-//!   most expensive configuration, reported for context (not gated).
+//!   most expensive flat configuration, reported for context (not gated
+//!   against baseline);
+//! * **labeled** — armed plus a rotating [`aim_telemetry::scope`] over 64
+//!   tenants, so every instrument records a `tenant="…"` labeled twin
+//!   through the dimensional registry. Gated against **armed**: the
+//!   dimensional layer must cost ≤5% on top of flat armed telemetry.
 //!
 //! Configs are interleaved round-robin and the per-config minimum across
 //! rounds is compared, which suppresses scheduler noise the way overhead
 //! microbenches conventionally do. The run writes
 //! `results/BENCH_observability.json` and **exits non-zero when the
 //! disarmed overhead exceeds the bound** (2% full, 5% smoke — the smoke
-//! instance is small enough that timer noise needs headroom).
+//! instance is small enough that timer noise needs headroom) **or the
+//! labeled-over-armed overhead exceeds 5%**.
 //!
 //! Usage: `cargo run -p aim-bench --bin bench_observe --release -- [smoke]`
 
@@ -80,6 +86,7 @@ enum Config {
     Baseline,
     Disarmed,
     Armed,
+    Labeled,
 }
 
 impl Config {
@@ -88,8 +95,18 @@ impl Config {
             Config::Baseline => "baseline",
             Config::Disarmed => "disarmed",
             Config::Armed => "armed",
+            Config::Labeled => "labeled",
         }
     }
+}
+
+/// Tenant ids for the labeled config: 64 distinct label values, enough to
+/// exercise interning, sharding and labeled-twin recording without
+/// tripping the default series cap.
+const LABELED_TENANTS: usize = 64;
+
+fn tenant_ids() -> Vec<String> {
+    (0..LABELED_TENANTS).map(|i| format!("shard-{i:03}")).collect()
 }
 
 /// One timed round: `iters` query executions split into `batches` windows.
@@ -99,18 +116,20 @@ fn run_round(
     db: &mut Database,
     engine: &Engine,
     stmts: &[Statement],
+    tenants: &[String],
     iters: usize,
     batches: usize,
     config: Config,
 ) -> Duration {
     match config {
         Config::Baseline | Config::Disarmed => aim_telemetry::disable(),
-        Config::Armed => {
+        Config::Armed | Config::Labeled => {
             aim_telemetry::enable();
             aim_telemetry::trace::start_recording();
         }
     }
     let hooks = config != Config::Baseline;
+    let labeled = config == Config::Labeled;
     let mut sentinel = LatencySentinel::new(SentinelConfig::default());
     let per_batch = iters / batches;
 
@@ -121,6 +140,8 @@ fn run_round(
             {
                 let _adopt = ctx.adopt();
                 for i in 0..per_batch {
+                    let _scope = labeled
+                        .then(|| aim_telemetry::scope(&tenants[i % tenants.len()]));
                     let _span = aim_telemetry::span("bench.query");
                     let stmt = &stmts[i % stmts.len()];
                     engine.execute(db, stmt).expect("query runs");
@@ -139,7 +160,7 @@ fn run_round(
     }
     let elapsed = t.elapsed();
 
-    if config == Config::Armed {
+    if matches!(config, Config::Armed | Config::Labeled) {
         aim_telemetry::trace::stop_recording();
         aim_telemetry::disable();
         aim_telemetry::reset();
@@ -159,56 +180,85 @@ fn main() {
     let mut db = build_db();
     let engine = Engine::new();
     let stmts = workload();
+    let tenants = tenant_ids();
     aim_telemetry::disable();
     aim_telemetry::reset();
 
+    const ORDER: [Config; 4] = [
+        Config::Baseline,
+        Config::Disarmed,
+        Config::Armed,
+        Config::Labeled,
+    ];
+
     // Untimed warm-up of every config so code, caches, and the lazily
     // initialised telemetry globals are all hot before measurement.
-    for config in [Config::Baseline, Config::Disarmed, Config::Armed] {
-        run_round(&mut db, &engine, &stmts, iters, batches, config);
+    for config in ORDER {
+        run_round(&mut db, &engine, &stmts, &tenants, iters, batches, config);
     }
 
     // Rotate the execution order each round so no config systematically
     // inherits a favourable slot (post-reset caches, frequency ramp-up).
-    let order = [Config::Baseline, Config::Disarmed, Config::Armed];
-    let mut best = [Duration::MAX; 3];
+    let mut best = [Duration::MAX; 4];
     for round in 0..rounds {
-        for offset in 0..order.len() {
-            let slot = (round + offset) % order.len();
-            let d = run_round(&mut db, &engine, &stmts, iters, batches, order[slot]);
+        for offset in 0..ORDER.len() {
+            let slot = (round + offset) % ORDER.len();
+            let d = run_round(&mut db, &engine, &stmts, &tenants, iters, batches, ORDER[slot]);
             if d < best[slot] {
                 best[slot] = d;
             }
         }
     }
-    let [baseline, disarmed, armed] = best;
+    let [baseline, disarmed, armed, labeled] = best;
     let overhead =
         |d: Duration| (d.as_secs_f64() - baseline.as_secs_f64()) / baseline.as_secs_f64() * 100.0;
     let disarmed_pct = overhead(disarmed);
     let armed_pct = overhead(armed);
-    let pass = disarmed_pct < bound_pct;
+    // The dimensional layer is priced against flat armed telemetry: the
+    // labeled twins are the only delta between the two configs. Like the
+    // disarmed bound, the smoke instance gets timer-noise headroom.
+    let labeled_bound_pct = if smoke { 10.0f64 } else { 5.0 };
+    let labeled_pct =
+        (labeled.as_secs_f64() - armed.as_secs_f64()) / armed.as_secs_f64() * 100.0;
+    let pass = disarmed_pct < bound_pct && labeled_pct < labeled_bound_pct;
 
     println!(
-        "# bench_observe ({mode}): {rounds} rounds x {iters} point selects, {batches} windows/round"
+        "# bench_observe ({mode}): {rounds} rounds x {iters} point selects, {batches} \
+         windows/round, {LABELED_TENANTS} tenants labeled"
     );
-    for (config, d) in [Config::Baseline, Config::Disarmed, Config::Armed]
-        .into_iter()
-        .zip(best)
-    {
+    for (config, d) in ORDER.into_iter().zip(best) {
         println!("{:<9} best {:>9.3} ms", config.name(), d.as_secs_f64() * 1e3);
     }
     println!(
-        "disarmed overhead {disarmed_pct:+.3}% (bound {bound_pct}%), armed {armed_pct:+.1}%"
+        "disarmed overhead {disarmed_pct:+.3}% (bound {bound_pct}%), armed {armed_pct:+.1}%, \
+         labeled over armed {labeled_pct:+.3}% (bound {labeled_bound_pct}%)"
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"bench_observe\",\n  \"mode\": \"{mode}\",\n  \"rounds\": {rounds},\n  \"iters_per_round\": {iters},\n  \"windows_per_round\": {batches},\n  \"baseline_ms\": {b:.6},\n  \"disarmed_ms\": {d:.6},\n  \"armed_ms\": {a:.6},\n  \"disarmed_overhead_pct\": {dp:.4},\n  \"armed_overhead_pct\": {ap:.4},\n  \"bound_pct\": {bound_pct:.1},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"benchmark\": \"bench_observe\",\n  \"mode\": \"{mode}\",\n  \"rounds\": {rounds},\n  \"iters_per_round\": {iters},\n  \"windows_per_round\": {batches},\n  \"labeled_tenants\": {LABELED_TENANTS},\n  \"baseline_ms\": {b:.6},\n  \"disarmed_ms\": {d:.6},\n  \"armed_ms\": {a:.6},\n  \"labeled_ms\": {l:.6},\n  \"disarmed_overhead_pct\": {dp:.4},\n  \"armed_overhead_pct\": {ap:.4},\n  \"labeled_overhead_pct\": {lp:.4},\n  \"bound_pct\": {bound_pct:.1},\n  \"labeled_bound_pct\": {labeled_bound_pct:.1},\n  \"pass\": {pass}\n}}\n",
         b = baseline.as_secs_f64() * 1e3,
         d = disarmed.as_secs_f64() * 1e3,
         a = armed.as_secs_f64() * 1e3,
+        l = labeled.as_secs_f64() * 1e3,
         dp = disarmed_pct,
         ap = armed_pct,
+        lp = labeled_pct,
     );
+    let mut malformed = false;
+    match aim_telemetry::jsonv::parse(&json) {
+        Ok(doc) => {
+            // The labeled gate is the artifact's contract with CI: the field
+            // must exist and carry the number the gate below judged.
+            if doc.get("labeled_overhead_pct").and_then(|v| v.as_f64()).is_none() {
+                eprintln!("FAIL: artifact is missing a numeric labeled_overhead_pct");
+                malformed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: artifact is not well-formed JSON: {e}");
+            malformed = true;
+        }
+    }
     // The recorded artifact is the full run; smoke runs (CI) write
     // alongside it so they never clobber the recorded numbers.
     let path = if smoke {
@@ -224,12 +274,26 @@ fn main() {
         Err(e) => eprintln!("# artifact write failed: {e}"),
     }
 
-    // CI gate: disabled telemetry must be free to within the bound — every
-    // hook is specified to degrade to an atomic load when disarmed.
+    // CI gates: disabled telemetry must be free to within the bound (every
+    // hook is specified to degrade to an atomic load when disarmed), and
+    // the dimensional registry must stay within its bound on top of flat
+    // armed telemetry.
+    if malformed {
+        std::process::exit(1);
+    }
     if !pass {
-        eprintln!(
-            "FAIL: disarmed telemetry overhead {disarmed_pct:.3}% exceeds the {bound_pct}% bound"
-        );
+        if disarmed_pct >= bound_pct {
+            eprintln!(
+                "FAIL: disarmed telemetry overhead {disarmed_pct:.3}% exceeds the \
+                 {bound_pct}% bound"
+            );
+        }
+        if labeled_pct >= labeled_bound_pct {
+            eprintln!(
+                "FAIL: labeled-over-armed overhead {labeled_pct:.3}% exceeds the \
+                 {labeled_bound_pct}% bound"
+            );
+        }
         std::process::exit(1);
     }
 }

@@ -219,33 +219,72 @@ impl ContinuousTuner {
 
         // 0. A step is a window boundary: close the telemetry time-series
         //    window and, when a sentinel is attached, let it judge the
-        //    closed window. A regression verdict rolls back the previous
-        //    step's materialization before anything else happens.
+        //    closed window — every tenant series independently, with any
+        //    firing per-tenant latency SLO feeding the rollback decision.
+        //    A regression verdict rolls back the previous step's
+        //    materialization before anything else happens.
         let window = aim_telemetry::timeseries::tick("continuous_window");
-        let verdict = match (self.sentinel.as_mut(), window.as_ref()) {
-            (Some(sentinel), Some(window)) => Some(sentinel.observe_window(window)),
-            _ => None,
+        let mut firing: BTreeSet<String> = BTreeSet::new();
+        if self.sentinel.is_some() && window.is_some() {
+            let watched = self.sentinel.as_ref().map(|s| s.config.histogram);
+            for status in aim_telemetry::slo::evaluate() {
+                if !status.firing {
+                    continue;
+                }
+                let tenant = status.tenant.clone().unwrap_or_default();
+                aim_telemetry::event(
+                    aim_telemetry::EventKind::SloAlert,
+                    &status.rule,
+                    format!(
+                        "tenant \"{tenant}\" {}: current {:.1} over target {:.1}, \
+                         burn rate fast {:.2} / slow {:.2}",
+                        status.metric, status.current, status.target,
+                        status.fast_burn, status.slow_burn
+                    ),
+                );
+                if Some(status.metric.as_str()) == watched {
+                    firing.insert(tenant);
+                }
+            }
+        }
+        let verdicts = match (self.sentinel.as_mut(), window.as_ref()) {
+            (Some(sentinel), Some(window)) => sentinel.observe_window_all(window, &firing),
+            _ => Vec::new(),
         };
-        if let Some(SentinelVerdict::Regressed {
-            current,
-            baseline,
-            suspects,
-        }) = verdict
-        {
+        for tv in verdicts {
+            let SentinelVerdict::Regressed {
+                current,
+                baseline,
+                suspects,
+            } = tv.verdict
+            else {
+                continue;
+            };
             let _rollback_span = aim_telemetry::span("regression_rollback");
             aim_telemetry::metrics::REGRESSIONS_DETECTED.incr();
+            let attribution = if tv.alert {
+                " (SLO alert-attributed)"
+            } else {
+                ""
+            };
+            let series = if tv.tenant.is_empty() {
+                "all-tenant".to_string()
+            } else {
+                format!("tenant \"{}\"", tv.tenant)
+            };
             for name in suspects {
                 let Some(def) = db.all_indexes().into_iter().find(|d| d.name == name) else {
                     continue;
                 };
                 if db.drop_index(&def.table, &def.name).is_ok() {
+                    aim_telemetry::metrics::counter_add("sentinel.rollbacks", 1);
                     aim_telemetry::event(
                         aim_telemetry::EventKind::RegressionRollback,
                         &def.name,
                         format!(
-                            "windowed select-latency regressed ({baseline:.1} -> \
-                             {current:.1}); rolling back the materialization that \
-                             armed the sentinel"
+                            "{series} windowed select-latency regressed \
+                             ({baseline:.1} -> {current:.1}){attribution}; rolling \
+                             back the materialization that armed the sentinel"
                         ),
                     );
                     self.session.ledger_annotate(
@@ -253,9 +292,9 @@ impl ContinuousTuner {
                         &def.table,
                         "regression_rollback",
                         format!(
-                            "latency sentinel: windowed select-latency {current:.1} \
-                             exceeded the EWMA baseline {baseline:.1} within the \
-                             post-materialization watch"
+                            "latency sentinel{attribution}: {series} windowed \
+                             select-latency {current:.1} exceeded the EWMA baseline \
+                             {baseline:.1} within the post-materialization watch"
                         ),
                     );
                     self.recently_created.remove(&def.name);
@@ -324,9 +363,12 @@ impl ContinuousTuner {
             .map(|c| c.def.name.clone())
             .collect();
         // A materializing pass puts the sentinel on alert for the next
-        // windows; a pass that created nothing leaves it as-is.
+        // windows; a pass that created nothing leaves it as-is. Under a
+        // tenant scope (fleet workers) the watch is armed on that tenant's
+        // latency series so rollbacks stay tenant-local.
         if let Some(sentinel) = self.sentinel.as_mut() {
-            sentinel.arm(self.recently_created.iter().cloned().collect());
+            let tenant = aim_telemetry::metrics::current_tenant().unwrap_or_default();
+            sentinel.arm_tenant(&tenant, self.recently_created.iter().cloned().collect());
         }
 
         // 3. Unused-index GC with a grace period.

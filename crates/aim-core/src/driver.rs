@@ -92,6 +92,12 @@ pub struct AimConfig {
     /// How the final index set is chosen from the ranked candidates
     /// (greedy knapsack by default; LP relaxation opt-in).
     pub selection_strategy: SelectionStrategy,
+    /// Tenant label for dimensional telemetry: when set, the whole pass
+    /// runs under a [`aim_telemetry::scope`] so every instrument the
+    /// pipeline touches also records a `tenant="…"` labeled twin (fleet
+    /// sessions set this to the tenant id). `None` (the default) records
+    /// flat series only.
+    pub tenant_label: Option<String>,
 }
 
 impl Default for AimConfig {
@@ -107,6 +113,7 @@ impl Default for AimConfig {
             record_ledger: false,
             backend: BackendSpec::Memory,
             selection_strategy: SelectionStrategy::default(),
+            tenant_label: None,
         }
     }
 }

@@ -46,8 +46,10 @@
 
 use crate::driver::{Aim, AimConfig, AimOutcome};
 use crate::error::AimError;
+use crate::ledger::DecisionLedger;
 use crate::partial_order::PartialOrder;
 use crate::ranking::{effective_workers, try_rank_candidates_with, RankedCandidate};
+use crate::sentinel::{LatencySentinel, SentinelVerdict};
 use crate::session::{CancelToken, RetryPolicy, RunCtl, TuningSession};
 use crate::sharding::ShardingProfile;
 use aim_monitor::{select_workload, WorkloadMonitor};
@@ -259,6 +261,8 @@ pub struct TenantOutcome {
     /// The tenant session's decision ledger, when the base config records
     /// one.
     pub ledger_json: Option<String>,
+    /// Wall-clock time this tenant's tune slot took (probe time excluded).
+    pub elapsed: Duration,
 }
 
 /// Outcome of one fleet pass.
@@ -279,6 +283,10 @@ pub struct FleetOutcome {
     pub seeded_orders: u64,
     /// Wall-clock time of the fleet pass.
     pub elapsed: Duration,
+    /// The straggler: the tenant whose tune slot took longest, with its
+    /// wall time. Fleet wall clock is gated by this tenant, so the skew
+    /// between it and the mean is the fleet's parallelism headroom.
+    pub slowest_tenant: Option<(String, Duration)>,
 }
 
 impl FleetOutcome {
@@ -290,6 +298,21 @@ impl FleetOutcome {
     /// Tenants whose pass failed (fault isolated; fleet continued).
     pub fn failed(&self) -> usize {
         self.tenants.len() - self.tuned()
+    }
+
+    /// Arms `sentinel` per tenant with the indexes this pass created:
+    /// each tenant's labeled latency series is then watched independently,
+    /// so one tenant's regression rolls back only its own indexes. Tenants
+    /// whose pass failed or created nothing are left as-is.
+    pub fn arm_sentinel(&self, sentinel: &mut LatencySentinel) {
+        for t in &self.tenants {
+            if let Ok(out) = &t.result {
+                sentinel.arm_tenant(
+                    &t.id,
+                    out.created.iter().map(|c| c.def.name.clone()).collect(),
+                );
+            }
+        }
     }
 }
 
@@ -345,6 +368,7 @@ impl FleetSession {
             // `TuningSession` on the same inputs.
             let t = &mut tenants[0];
             let out = self.tune_tenant(t, self.cfg.fleet_budget, &[], fleet_deadline, false);
+            outcome.slowest_tenant = Some((out.id.clone(), out.elapsed));
             outcome.tenants.push(out);
             outcome.elapsed = root.elapsed();
             return outcome;
@@ -357,7 +381,10 @@ impl FleetSession {
         let probes: Vec<Probe> = {
             let _s = tel::span("fleet.probe");
             let cfg = &self.cfg;
-            run_pool(workers, &mut *tenants, |t| probe_tenant(cfg, t, &ctl))
+            run_pool(workers, &mut *tenants, |t| {
+                let _scope = tel::scope_phase(&t.id, "probe");
+                probe_tenant(cfg, t, &ctl)
+            })
         };
         tel::timeseries::tick("fleet.probe");
 
@@ -392,6 +419,7 @@ impl FleetSession {
                         seeded_orders: 0,
                         result: Err(err.clone()),
                         ledger_json: None,
+                        elapsed: Duration::ZERO,
                     };
                 }
                 let tenant_seeds: &[(String, PartialOrder)] =
@@ -403,6 +431,10 @@ impl FleetSession {
             outcome.seeded_orders += t.seeded_orders as u64;
         }
         tel::metrics::FLEET_SEEDED_ORDERS.add(outcome.seeded_orders);
+        outcome.slowest_tenant = tuned
+            .iter()
+            .max_by_key(|t| t.elapsed)
+            .map(|t| (t.id.clone(), t.elapsed));
         outcome.tenants = tuned;
         tel::timeseries::tick("fleet.tune");
 
@@ -438,8 +470,14 @@ impl FleetSession {
         fleet_deadline: Option<Instant>,
         multi: bool,
     ) -> TenantOutcome {
+        // The whole tune slot runs scoped to this tenant: every instrument
+        // below (and inside the session, via `tenant_label`) records a
+        // `tenant="…"` labeled twin alongside the flat fleet totals.
+        let _scope = tel::scope_phase(&tenant.id, "tune");
+        let slot_started = Instant::now();
         let mut cfg = self.cfg.base.clone();
         cfg.storage_budget = budget;
+        cfg.tenant_label = Some(tenant.id.clone());
         if tenant.profile.is_some() {
             cfg.sharding = tenant.profile.clone();
         }
@@ -478,13 +516,126 @@ impl FleetSession {
         } else {
             None
         };
+        let elapsed = slot_started.elapsed();
+        // Per-tenant rollups behind the `/fleet` endpoint: wall time as a
+        // labeled histogram (straggler skew), granted vs used budget as
+        // labeled gauges. All recorded under the tenant scope above.
+        tel::metrics::histogram_record("fleet.tenant_duration", elapsed.as_secs_f64() * 1e3);
+        tel::metrics::gauge_set(
+            "fleet.budget_granted_bytes",
+            budget.min(i64::MAX as u64) as i64,
+        );
+        tel::metrics::gauge_set(
+            "fleet.budget_used_bytes",
+            tenant
+                .db
+                .total_secondary_index_bytes()
+                .min(i64::MAX as u64) as i64,
+        );
         TenantOutcome {
             id: tenant.id.clone(),
             budget,
             seeded_orders,
             result,
             ledger_json,
+            elapsed,
         }
+    }
+
+    /// Closes one fleet observation window and lets `sentinel` judge every
+    /// tenant's labeled latency series against its own EWMA baseline. Any
+    /// firing per-tenant SLO on the watched histogram (see
+    /// [`aim_telemetry::slo`]) feeds the verdict: an armed tenant under a
+    /// firing alert is regressed even if this window's stat alone would
+    /// tolerate it. Regressed tenants have their suspect indexes rolled
+    /// back **on that tenant only**; the rollback is journaled and, when a
+    /// ledger is passed, annotated with the alert attribution. Returns
+    /// `(tenant id, index name)` per rolled-back index.
+    pub fn observe_window(
+        &self,
+        tenants: &mut [Tenant],
+        sentinel: &mut LatencySentinel,
+        mut ledger: Option<&mut DecisionLedger>,
+    ) -> Vec<(String, String)> {
+        let Some(window) = tel::timeseries::tick("fleet.window") else {
+            return Vec::new();
+        };
+        let watched = sentinel.config.histogram;
+        let mut firing: BTreeSet<String> = BTreeSet::new();
+        for status in tel::slo::evaluate() {
+            if !status.firing {
+                continue;
+            }
+            let tenant = status.tenant.clone().unwrap_or_default();
+            tel::event(
+                tel::EventKind::SloAlert,
+                &status.rule,
+                format!(
+                    "tenant \"{tenant}\" {}: current {:.1} over target {:.1}, \
+                     burn rate fast {:.2} / slow {:.2}",
+                    status.metric, status.current, status.target,
+                    status.fast_burn, status.slow_burn
+                ),
+            );
+            if status.metric == watched {
+                firing.insert(tenant);
+            }
+        }
+        let mut rolled = Vec::new();
+        for tv in sentinel.observe_window_all(&window, &firing) {
+            let SentinelVerdict::Regressed {
+                current,
+                baseline,
+                suspects,
+            } = tv.verdict
+            else {
+                continue;
+            };
+            let Some(tenant) = tenants.iter_mut().find(|t| t.id == tv.tenant) else {
+                continue;
+            };
+            tel::metrics::REGRESSIONS_DETECTED.incr();
+            let attribution = if tv.alert {
+                " (SLO alert-attributed)"
+            } else {
+                ""
+            };
+            for name in suspects {
+                let Some(def) = tenant.db.all_indexes().into_iter().find(|d| d.name == name)
+                else {
+                    continue;
+                };
+                if tenant.db.drop_index(&def.table, &def.name).is_ok() {
+                    tel::metrics::counter_add("sentinel.rollbacks", 1);
+                    tel::event(
+                        tel::EventKind::RegressionRollback,
+                        &def.name,
+                        format!(
+                            "tenant \"{}\" windowed select-latency regressed \
+                             ({baseline:.1} -> {current:.1}){attribution}; rolling \
+                             back the materialization that armed the sentinel",
+                            tv.tenant
+                        ),
+                    );
+                    if let Some(l) = ledger.as_deref_mut() {
+                        l.annotate_latest(
+                            &def.name,
+                            &def.table,
+                            "regression_rollback",
+                            format!(
+                                "latency sentinel{attribution}: tenant \"{}\" \
+                                 windowed select-latency {current:.1} exceeded the \
+                                 EWMA baseline {baseline:.1} within the \
+                                 post-materialization watch",
+                                tv.tenant
+                            ),
+                        );
+                    }
+                    rolled.push((tv.tenant.clone(), def.name));
+                }
+            }
+        }
+        rolled
     }
 }
 
@@ -767,6 +918,11 @@ mod tests {
             assert_eq!(t.id, o.id);
             assert!(!o.result.as_ref().unwrap().created.is_empty());
         }
+        // The straggler is one of the tenants, and its wall time is the
+        // max over the per-tenant slots.
+        let (slow_id, slow_elapsed) = out.slowest_tenant.clone().unwrap();
+        assert!(out.tenants.iter().any(|t| t.id == slow_id));
+        assert!(out.tenants.iter().all(|t| t.elapsed <= slow_elapsed));
         assert!(!tenants[0].db.all_indexes().is_empty());
         assert!(!tenants[1].db.all_indexes().is_empty());
     }

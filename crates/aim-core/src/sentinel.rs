@@ -12,8 +12,24 @@
 //! suspects. [`crate::continuous::ContinuousTuner::step`] then drops those
 //! indexes and records a `regression_rollback` stage in the decision
 //! ledger, closing the observe → detect → rollback loop.
+//!
+//! Since the dimensional-telemetry rework the sentinel is **per-tenant**:
+//! it keeps one EWMA baseline and one armed watch per `tenant`-labeled
+//! variant of the watched histogram (the unlabeled all-tenant series is
+//! tenant `""`). [`LatencySentinel::observe_window_all`] judges every
+//! tenant in a window independently, so one tenant's regression rolls back
+//! only that tenant's indexes, and accepts the set of tenants whose
+//! latency SLO is firing (see [`aim_telemetry::slo`]): a firing alert
+//! forces an armed tenant's verdict to `Regressed` even when the EWMA
+//! tolerance alone would let the window pass, and suspends baseline
+//! absorption so the incident cannot normalize itself. Each judged tenant
+//! also publishes a `sentinel.state` gauge (0 idle, 1 armed, 2 regressed)
+//! that the `/fleet` rollup surfaces.
 
-use aim_telemetry::timeseries::Window;
+use std::collections::{BTreeMap, BTreeSet};
+
+use aim_telemetry as tel;
+use aim_telemetry::timeseries::{Window, WindowHistogram};
 
 /// Which windowed statistic of the watched histogram the sentinel tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,62 +99,99 @@ pub enum SentinelVerdict {
     },
 }
 
+/// One tenant's judgment from [`LatencySentinel::observe_window_all`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantVerdict {
+    /// Tenant the verdict applies to (`""` is the all-tenant series).
+    pub tenant: String,
+    pub verdict: SentinelVerdict,
+    /// True when a firing SLO alert forced (or corroborated) the verdict;
+    /// rollback ledger entries record this attribution.
+    pub alert: bool,
+}
+
 #[derive(Debug, Clone)]
 struct Armed {
     suspects: Vec<String>,
     windows_left: usize,
 }
 
-/// EWMA + threshold detector over windowed select-latency statistics.
-#[derive(Debug, Clone)]
-pub struct LatencySentinel {
-    pub config: SentinelConfig,
+#[derive(Debug, Clone, Default)]
+struct TenantState {
     ewma: Option<f64>,
     windows_observed: u64,
     armed: Option<Armed>,
+}
+
+/// EWMA + threshold detector over windowed select-latency statistics,
+/// one independent baseline per tenant (`""` = the all-tenant series).
+#[derive(Debug, Clone)]
+pub struct LatencySentinel {
+    pub config: SentinelConfig,
+    states: BTreeMap<String, TenantState>,
 }
 
 impl LatencySentinel {
     pub fn new(config: SentinelConfig) -> Self {
         Self {
             config,
-            ewma: None,
-            windows_observed: 0,
-            armed: None,
+            states: BTreeMap::new(),
         }
     }
 
-    /// Puts the sentinel on alert: the next `arm_windows` data-bearing
-    /// windows are compared against the baseline, with `suspects` (the
-    /// just-materialized indexes) on the hook. Re-arming replaces any
-    /// previous watch.
+    /// Puts the global (all-tenant) sentinel on alert: the next
+    /// `arm_windows` data-bearing windows are compared against the
+    /// baseline, with `suspects` (the just-materialized indexes) on the
+    /// hook. Re-arming replaces any previous watch.
     pub fn arm(&mut self, suspects: Vec<String>) {
+        self.arm_tenant("", suspects);
+    }
+
+    /// Arms the watch for one tenant's series.
+    pub fn arm_tenant(&mut self, tenant: &str, suspects: Vec<String>) {
         if suspects.is_empty() {
             return;
         }
-        self.armed = Some(Armed {
+        let windows_left = self.config.arm_windows;
+        self.states.entry(tenant.to_string()).or_default().armed = Some(Armed {
             suspects,
-            windows_left: self.config.arm_windows,
+            windows_left,
         });
     }
 
-    /// Current EWMA baseline of the watched statistic, if established.
+    /// Current EWMA baseline of the global series, if established.
     pub fn baseline(&self) -> Option<f64> {
-        self.ewma
+        self.baseline_for("")
     }
 
-    /// True while a materialization is under scrutiny.
+    /// Current EWMA baseline for one tenant's series.
+    pub fn baseline_for(&self, tenant: &str) -> Option<f64> {
+        self.states.get(tenant).and_then(|s| s.ewma)
+    }
+
+    /// True while the global series is under scrutiny.
     pub fn is_armed(&self) -> bool {
-        self.armed.is_some()
+        self.is_armed_for("")
     }
 
-    /// Data-bearing windows folded into the baseline so far.
+    /// True while `tenant`'s series is under scrutiny.
+    pub fn is_armed_for(&self, tenant: &str) -> bool {
+        self.states
+            .get(tenant)
+            .is_some_and(|s| s.armed.is_some())
+    }
+
+    /// Data-bearing windows folded into the global baseline so far.
     pub fn windows_observed(&self) -> u64 {
-        self.windows_observed
+        self.states.get("").map_or(0, |s| s.windows_observed)
     }
 
-    fn stat_of(&self, w: &Window) -> Option<f64> {
-        let h = w.histogram(self.config.histogram)?;
+    /// Tenants with any sentinel state (baseline or armed watch).
+    pub fn tenants(&self) -> Vec<String> {
+        self.states.keys().cloned().collect()
+    }
+
+    fn stat_of(&self, h: &WindowHistogram) -> Option<f64> {
         if h.count < self.config.min_samples {
             return None;
         }
@@ -150,32 +203,33 @@ impl LatencySentinel {
         })
     }
 
-    fn absorb(&mut self, stat: f64) {
-        let alpha = self.config.ewma_alpha.clamp(f64::EPSILON, 1.0);
-        self.ewma = Some(match self.ewma {
-            None => stat,
-            Some(e) => alpha * stat + (1.0 - alpha) * e,
-        });
-        self.windows_observed += 1;
-    }
-
-    /// Judges one closed window. Regressed windows are *not* absorbed into
-    /// the baseline (the rollback restores the pre-materialization world
-    /// the baseline describes); everything else data-bearing is.
-    pub fn observe_window(&mut self, w: &Window) -> SentinelVerdict {
-        let Some(stat) = self.stat_of(w) else {
+    /// Judges one tenant's windowed stat. Regressed windows are *not*
+    /// absorbed into the baseline (the rollback restores the
+    /// pre-materialization world the baseline describes); neither are
+    /// windows under a firing alert, so an incident cannot normalize
+    /// itself into the EWMA.
+    fn judge(config: &SentinelConfig, state: &mut TenantState, stat: Option<f64>, alert: bool) -> SentinelVerdict {
+        let absorb = |state: &mut TenantState, stat: f64| {
+            let alpha = config.ewma_alpha.clamp(f64::EPSILON, 1.0);
+            state.ewma = Some(match state.ewma {
+                None => stat,
+                Some(e) => alpha * stat + (1.0 - alpha) * e,
+            });
+            state.windows_observed += 1;
+        };
+        let Some(stat) = stat else {
             return SentinelVerdict::Insufficient;
         };
-        if let Some(armed) = self.armed.as_mut() {
-            let Some(baseline) = self.ewma else {
+        if let Some(armed) = state.armed.as_mut() {
+            let Some(baseline) = state.ewma else {
                 // Armed before any baseline existed: this window becomes
                 // the baseline rather than being judged against nothing.
-                self.absorb(stat);
+                absorb(state, stat);
                 return SentinelVerdict::Insufficient;
             };
-            if stat > baseline * (1.0 + self.config.tolerance) {
+            if alert || stat > baseline * (1.0 + config.tolerance) {
                 let suspects = std::mem::take(&mut armed.suspects);
-                self.armed = None;
+                state.armed = None;
                 return SentinelVerdict::Regressed {
                     current: stat,
                     baseline,
@@ -185,18 +239,76 @@ impl LatencySentinel {
             armed.windows_left = armed.windows_left.saturating_sub(1);
             let disarmed = armed.windows_left == 0;
             if disarmed {
-                self.armed = None;
+                state.armed = None;
             }
-            self.absorb(stat);
+            absorb(state, stat);
             if disarmed {
                 SentinelVerdict::Disarmed
             } else {
                 SentinelVerdict::Cleared
             }
         } else {
-            self.absorb(stat);
+            if !alert {
+                absorb(state, stat);
+            }
             SentinelVerdict::Idle
         }
+    }
+
+    /// Judges the global (unlabeled) series of one closed window.
+    pub fn observe_window(&mut self, w: &Window) -> SentinelVerdict {
+        let stat = w
+            .histogram(self.config.histogram)
+            .and_then(|h| self.stat_of(h));
+        let state = self.states.entry(String::new()).or_default();
+        Self::judge(&self.config, state, stat, false)
+    }
+
+    /// Judges every tenant series of one closed window independently —
+    /// the unlabeled series as tenant `""` plus each purely
+    /// tenant-labeled variant — and returns one verdict per tenant that
+    /// holds data or an armed watch. `firing` names the tenants whose
+    /// latency SLO alert is burning (see
+    /// [`aim_telemetry::slo::firing_tenants`]); a firing tenant that is
+    /// armed regresses outright, attribution recorded in
+    /// [`TenantVerdict::alert`]. Publishes a per-tenant `sentinel.state`
+    /// gauge as a side effect.
+    pub fn observe_window_all(
+        &mut self,
+        w: &Window,
+        firing: &BTreeSet<String>,
+    ) -> Vec<TenantVerdict> {
+        let mut stats: BTreeMap<String, Option<f64>> = BTreeMap::new();
+        for (tenant, h) in w.tenant_histograms(self.config.histogram) {
+            stats.insert(tenant.unwrap_or_default(), self.stat_of(h));
+        }
+        // Armed tenants with no data this window still get judged (as
+        // Insufficient) so their gauges stay fresh.
+        for tenant in self.states.keys() {
+            stats.entry(tenant.clone()).or_insert(None);
+        }
+        let mut out = Vec::new();
+        for (tenant, stat) in stats {
+            let alert = firing.contains(&tenant);
+            let state = self.states.entry(tenant.clone()).or_default();
+            let verdict = Self::judge(&self.config, state, stat, alert);
+            let gauge = match &verdict {
+                SentinelVerdict::Regressed { .. } => 2,
+                _ if state.armed.is_some() => 1,
+                _ => 0,
+            };
+            if tenant.is_empty() {
+                tel::metrics::gauge_set("sentinel.state", gauge);
+            } else {
+                tel::metrics::gauge_set_labeled("sentinel.state", &[("tenant", &tenant)], gauge);
+            }
+            out.push(TenantVerdict {
+                tenant,
+                verdict,
+                alert,
+            });
+        }
+        out
     }
 }
 
@@ -221,6 +333,35 @@ mod tests {
                     p99,
                 },
             )],
+        }
+    }
+
+    fn tenant_window(series: &[(&str, u64, f64)]) -> Window {
+        Window {
+            index: 0,
+            label: "test".into(),
+            duration: std::time::Duration::from_secs(1),
+            counters: Vec::new(),
+            histograms: series
+                .iter()
+                .map(|(tenant, count, p99)| {
+                    let name = if tenant.is_empty() {
+                        "exec.select_cost".to_string()
+                    } else {
+                        format!("exec.select_cost{{tenant=\"{tenant}\"}}")
+                    };
+                    (
+                        name,
+                        WindowHistogram {
+                            count: *count,
+                            sum: p99 * *count as f64,
+                            p50: p99 * 0.5,
+                            p90: p99 * 0.9,
+                            p99: *p99,
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -305,5 +446,53 @@ mod tests {
         let mut s = LatencySentinel::new(SentinelConfig::default());
         s.arm(Vec::new());
         assert!(!s.is_armed());
+    }
+
+    #[test]
+    fn per_tenant_baselines_are_independent() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        let none = BTreeSet::new();
+        s.observe_window_all(&tenant_window(&[("a", 10, 100.0), ("b", 10, 5000.0)]), &none);
+        assert_eq!(s.baseline_for("a"), Some(100.0));
+        assert_eq!(s.baseline_for("b"), Some(5000.0));
+        // Tenant b's high latency is its own normal; arming b and holding
+        // steady clears, while a regressing trips only a.
+        s.arm_tenant("a", vec!["aim_a_x".into()]);
+        s.arm_tenant("b", vec!["aim_b_y".into()]);
+        let verdicts =
+            s.observe_window_all(&tenant_window(&[("a", 10, 400.0), ("b", 10, 5100.0)]), &none);
+        let of = |t: &str, v: &[TenantVerdict]| {
+            v.iter().find(|tv| tv.tenant == t).unwrap().verdict.clone()
+        };
+        match of("a", &verdicts) {
+            SentinelVerdict::Regressed { suspects, .. } => {
+                assert_eq!(suspects, vec!["aim_a_x"]);
+            }
+            other => panic!("tenant a should regress, got {other:?}"),
+        }
+        assert_eq!(of("b", &verdicts), SentinelVerdict::Cleared);
+        assert!(s.is_armed_for("b"));
+        assert!(!s.is_armed_for("a"));
+    }
+
+    #[test]
+    fn firing_alert_forces_an_armed_regression_and_freezes_idle_baselines() {
+        let mut s = LatencySentinel::new(SentinelConfig::default());
+        let mut firing = BTreeSet::new();
+        s.observe_window_all(&tenant_window(&[("a", 10, 100.0), ("b", 10, 100.0)]), &firing);
+        s.arm_tenant("a", vec!["aim_a_x".into()]);
+        firing.insert("a".to_string());
+        firing.insert("b".to_string());
+        // Within EWMA tolerance (120 < 150) — the alert still fires a.
+        let verdicts =
+            s.observe_window_all(&tenant_window(&[("a", 10, 120.0), ("b", 10, 120.0)]), &firing);
+        let a = verdicts.iter().find(|tv| tv.tenant == "a").unwrap();
+        assert!(a.alert);
+        assert!(matches!(a.verdict, SentinelVerdict::Regressed { .. }));
+        // b is not armed: nothing to roll back, and its baseline did not
+        // absorb the alert-tainted window.
+        let b = verdicts.iter().find(|tv| tv.tenant == "b").unwrap();
+        assert_eq!(b.verdict, SentinelVerdict::Idle);
+        assert_eq!(s.baseline_for("b"), Some(100.0));
     }
 }

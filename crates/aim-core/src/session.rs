@@ -248,6 +248,15 @@ impl AimConfigBuilder {
         self
     }
 
+    /// Tenant label for dimensional telemetry: the whole pass runs under a
+    /// [`aim_telemetry::scope`] with this tenant, so every instrument also
+    /// records a `tenant="…"` labeled twin. Fleet sessions set this per
+    /// tenant automatically.
+    pub fn tenant(mut self, label: impl Into<String>) -> Self {
+        self.cfg.tenant_label = Some(label.into());
+        self
+    }
+
     /// Finishes the configuration (for [`Aim::new`] or the advisor).
     pub fn build(self) -> AimConfig {
         self.cfg
@@ -393,6 +402,16 @@ impl TuningSession {
             Some(self.cancel.clone()),
             self.deadline.map(|d| Instant::now() + d),
         );
+        // A configured tenant label scopes the entire pass: every
+        // instrument below also records a labeled twin. The scope carries
+        // a `phase="tune"` label besides the tenant so the pass's own
+        // validation replays never pollute the tenant's *pure* latency
+        // series — the one the sentinel and SLO rules judge.
+        let _tenant_scope = self
+            .config()
+            .tenant_label
+            .as_deref()
+            .map(|t| tel::metrics::scope_phase(t, "tune"));
         // The root span is the pass's single timing source: `elapsed()`
         // works whether or not telemetry is collecting.
         let root = tel::span("aim.tune");

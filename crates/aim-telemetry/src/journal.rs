@@ -43,6 +43,9 @@ pub enum EventKind {
     /// The latency sentinel flagged a windowed latency regression after a
     /// materialization and rolled the suspect indexes back.
     RegressionRollback,
+    /// An SLO rule's multi-window burn rate crossed its threshold (the
+    /// target names the rule, the detail names the tenant and burns).
+    SloAlert,
 }
 
 impl EventKind {
@@ -62,6 +65,7 @@ impl EventKind {
             EventKind::PassDegraded => "pass_degraded",
             EventKind::PassAborted => "pass_aborted",
             EventKind::RegressionRollback => "regression_rollback",
+            EventKind::SloAlert => "slo_alert",
         }
     }
 }

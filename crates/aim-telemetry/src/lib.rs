@@ -54,12 +54,16 @@ pub mod metrics;
 pub mod report;
 pub mod serve;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
 
 pub use journal::{event, events, Event, EventKind};
-pub use metrics::{snapshot, Counter, HistogramSnapshot, Snapshot};
+pub use metrics::{
+    scope, scope_phase, snapshot, Counter, HistogramSnapshot, Snapshot, TelemetryScope,
+};
+pub use slo::{SloRule, SloStat, SloStatus};
 pub use report::{render_counters, render_profile, write_artifact};
 pub use serve::{
     clear_ledger_source, render_prometheus, set_ledger_source, IntrospectionServer,
@@ -92,16 +96,17 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears all collected state: counters, gauges, histograms, the event
-/// journal, the calling thread's span profile, the time-series ring and
-/// the trace recorder. Registered sinks are kept (use [`clear_sinks`] to
-/// drop them).
+/// Clears all collected state: counters, gauges, histograms, labeled
+/// series, the event journal, the calling thread's span profile, the
+/// time-series ring, the trace recorder and registered SLO rules.
+/// Registered sinks are kept (use [`clear_sinks`] to drop them).
 pub fn reset() {
     metrics::reset();
     journal::reset();
     span::reset();
     timeseries::reset();
     trace::reset();
+    slo::clear();
 }
 
 #[cfg(test)]

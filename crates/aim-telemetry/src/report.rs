@@ -199,6 +199,7 @@ pub fn render_profile(profile: &ProfileNode) -> String {
 pub fn render_counters(s: &Snapshot) -> String {
     const ALWAYS: &[&str] = &[
         "telemetry.journal_dropped",
+        "telemetry.series_dropped",
         "timeseries.windows",
         "trace.spans_stitched",
     ];

@@ -155,7 +155,8 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
                 "200 OK",
                 "text/plain; charset=utf-8",
                 "aim introspection endpoint\n\
-                 routes: /metrics /journal /profile /timeseries /trace /ledger\n"
+                 routes: /metrics /journal /profile /timeseries /trace /ledger \
+                 /fleet /alerts\n"
                     .to_string(),
             ),
             "/metrics" => (
@@ -182,11 +183,20 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
                     "no ledger registered (see aim_telemetry::set_ledger_source)\n".to_string(),
                 ),
             },
+            "/fleet" => (
+                "200 OK",
+                "application/json",
+                fleet_json(
+                    query_param_str(query, "sort").unwrap_or("tenant"),
+                    query_param(query, "top").unwrap_or(usize::MAX),
+                ),
+            ),
+            "/alerts" => ("200 OK", "application/json", crate::slo::alerts_json()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
                 "unknown route (try /metrics, /journal, /profile, /timeseries, \
-                 /trace, /ledger)\n"
+                 /trace, /ledger, /fleet, /alerts)\n"
                     .to_string(),
             ),
         }
@@ -207,6 +217,128 @@ fn query_param(query: &str, key: &str) -> Option<usize> {
         let (k, v) = pair.split_once('=')?;
         (k == key).then(|| v.parse().ok()).flatten()
     })
+}
+
+/// First raw value of `key` in a query string.
+fn query_param_str<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// One tenant's rollup row for the `/fleet` endpoint, accumulated from
+/// the tenant-labeled series in a metrics snapshot.
+#[derive(Debug, Clone, Default)]
+struct FleetRow {
+    shards_tuned: u64,
+    budget_granted: i64,
+    budget_used: i64,
+    duration_ms: f64,
+    cost_p50: f64,
+    cost_p99: f64,
+    cost_count: u64,
+    sentinel_state: i64,
+}
+
+/// Per-tenant rollup document behind `/fleet`: for every tenant seen in
+/// any labeled series, the shards tuned, budget bytes granted vs. used,
+/// tuning wall clock, select-cost p50/p99 and sentinel state. `sort`
+/// orders rows (`tenant`, `shards`, `granted`, `used`, `duration`, `p99`;
+/// non-tenant keys sort descending) and `top` truncates.
+fn fleet_json(sort: &str, top: usize) -> String {
+    use std::collections::BTreeMap;
+
+    let snap = crate::metrics::snapshot();
+    let mut rows: BTreeMap<String, FleetRow> = BTreeMap::new();
+    for (name, v) in &snap.counters {
+        let (base, labels) = crate::metrics::parse_series(name);
+        let Some((_, tenant)) = labels.iter().find(|(k, _)| k == "tenant") else {
+            continue;
+        };
+        if base == "fleet.shards_tuned" {
+            rows.entry(tenant.clone()).or_default().shards_tuned += v;
+        }
+    }
+    for (name, v) in &snap.gauges {
+        let (base, labels) = crate::metrics::parse_series(name);
+        let Some((_, tenant)) = labels.iter().find(|(k, _)| k == "tenant") else {
+            continue;
+        };
+        let row = rows.entry(tenant.clone()).or_default();
+        match base.as_str() {
+            "fleet.budget_granted_bytes" => row.budget_granted = *v,
+            "fleet.budget_used_bytes" => row.budget_used = *v,
+            "sentinel.state" => row.sentinel_state = *v,
+            _ => {}
+        }
+    }
+    for (name, h) in &snap.histograms {
+        let (base, labels) = crate::metrics::parse_series(name);
+        let Some((_, tenant)) = labels.iter().find(|(k, _)| k == "tenant") else {
+            continue;
+        };
+        let row = rows.entry(tenant.clone()).or_default();
+        match base.as_str() {
+            "fleet.tenant_duration" => row.duration_ms += h.sum,
+            // Prefer the pure per-tenant live series; fall back to a
+            // phase-scoped one (tuning replay) when no live traffic exists.
+            "exec.select_cost" => {
+                let pure = labels.len() == 1;
+                if pure || row.cost_count == 0 {
+                    row.cost_p50 = h.p50;
+                    row.cost_p99 = h.p99;
+                    row.cost_count = h.count;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut ordered: Vec<(String, FleetRow)> = rows.into_iter().collect();
+    match sort {
+        "shards" => ordered.sort_by_key(|r| std::cmp::Reverse(r.1.shards_tuned)),
+        "granted" => ordered.sort_by_key(|r| std::cmp::Reverse(r.1.budget_granted)),
+        "used" => ordered.sort_by_key(|r| std::cmp::Reverse(r.1.budget_used)),
+        "duration" => ordered.sort_by(|a, b| {
+            b.1.duration_ms
+                .partial_cmp(&a.1.duration_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        "p99" => ordered.sort_by(|a, b| {
+            b.1.cost_p99
+                .partial_cmp(&a.1.cost_p99)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        _ => {} // BTreeMap order: tenant id ascending.
+    }
+    ordered.truncate(top);
+
+    let mut out = String::from("{\"tenants\":[");
+    for (i, (tenant, row)) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tenant\":\"{}\",\"shards_tuned\":{},\"budget_granted_bytes\":{},\
+             \"budget_used_bytes\":{},\"duration_ms\":{:.3},\"cost_p50\":{:.3},\
+             \"cost_p99\":{:.3},\"sentinel_state\":{}}}",
+            crate::report::json_escape(tenant),
+            row.shards_tuned,
+            row.budget_granted,
+            row.budget_used,
+            row.duration_ms,
+            row.cost_p50,
+            row.cost_p99,
+            row.sentinel_state,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"series_active\":{},\"series_dropped\":{}}}",
+        crate::metrics::series_count(),
+        crate::metrics::SERIES_DROPPED.get(),
+    ));
+    out
 }
 
 fn journal_body() -> String {
@@ -252,40 +384,139 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Sanitizes a label key into the Prometheus label alphabet
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn prom_label_key(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a `# HELP` line per exposition format 0.0.4: `\` → `\\` and
+/// newline → `\n` (quotes are *not* escaped in HELP text).
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a label blob (`{k="v",…}`) with keys in stable (sorted) order
+/// and values escaped per 0.0.4; `extra` is appended last (used for the
+/// `quantile` label on summary samples). Empty label sets render as
+/// nothing.
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                prom_label_key(k),
+                crate::metrics::escape_label_value(v)
+            )
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
 /// Formats an f64 the Prometheus way (no exponent games needed for our
 /// magnitudes; NaN/inf never occur in snapshots).
 fn prom_f64(v: f64) -> String {
     format!("{v:.6}")
 }
 
+/// One sample within a Prometheus family: its label pairs and value.
+type LabeledSample<T> = (Vec<(String, String)>, T);
+
+/// Groups (possibly labeled) snapshot entries into Prometheus families:
+/// all samples of one family rendered together under a single
+/// `# HELP`/`# TYPE` pair, flat series first, labeled series after in
+/// snapshot (sorted) order.
+fn family_groups<T: Clone>(entries: &[(String, T)]) -> Vec<(String, Vec<LabeledSample<T>>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::BTreeMap<String, Vec<LabeledSample<T>>> =
+        std::collections::BTreeMap::new();
+    for (name, v) in entries {
+        let (base, labels) = crate::metrics::parse_series(name);
+        if !groups.contains_key(&base) {
+            order.push(base.clone());
+        }
+        groups.entry(base).or_default().push((labels, v.clone()));
+    }
+    order
+        .into_iter()
+        .map(|base| {
+            let samples = groups.remove(&base).unwrap_or_default();
+            (base, samples)
+        })
+        .collect()
+}
+
 /// Renders a metrics snapshot in Prometheus text exposition format
 /// (version 0.0.4). Every family gets a `# HELP` line (from
-/// [`crate::metrics::help_for`]) followed by its `# TYPE`; histograms are
-/// exposed as summaries with the `p50/p90/p99` quantile estimates from
-/// the log₂ buckets.
+/// [`crate::metrics::help_for`], escaped) followed by its `# TYPE`; all
+/// samples of a family — the flat series and its labeled variants — are
+/// grouped under one header with stable label ordering and escaped label
+/// values. Histograms are exposed as summaries with the `p50/p90/p99`
+/// quantile estimates from the log₂ buckets.
 pub fn render_prometheus(s: &crate::metrics::Snapshot) -> String {
     let mut out = String::new();
-    for (name, v) in &s.counters {
-        let n = prom_name(name);
-        let help = crate::metrics::help_for(name);
-        out.push_str(&format!(
-            "# HELP {n} {help}\n# TYPE {n} counter\n{n} {v}\n"
-        ));
-    }
-    for (name, v) in &s.gauges {
-        let n = prom_name(name);
-        let help = crate::metrics::help_for(name);
-        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} gauge\n{n} {v}\n"));
-    }
-    for (name, h) in &s.histograms {
-        let n = prom_name(name);
-        let help = crate::metrics::help_for(name);
-        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} summary\n"));
-        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
-            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", prom_f64(v)));
+    for (base, samples) in family_groups(&s.counters) {
+        let n = prom_name(&base);
+        let help = escape_help(crate::metrics::help_for(&base));
+        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} counter\n"));
+        for (labels, v) in samples {
+            out.push_str(&format!("{n}{} {v}\n", prom_labels(&labels, None)));
         }
-        out.push_str(&format!("{n}_sum {}\n", prom_f64(h.sum)));
-        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    for (base, samples) in family_groups(&s.gauges) {
+        let n = prom_name(&base);
+        let help = escape_help(crate::metrics::help_for(&base));
+        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} gauge\n"));
+        for (labels, v) in samples {
+            out.push_str(&format!("{n}{} {v}\n", prom_labels(&labels, None)));
+        }
+    }
+    for (base, samples) in family_groups(&s.histograms) {
+        let n = prom_name(&base);
+        let help = escape_help(crate::metrics::help_for(&base));
+        out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} summary\n"));
+        for (labels, h) in samples {
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!(
+                    "{n}{} {}\n",
+                    prom_labels(&labels, Some(("quantile", q))),
+                    prom_f64(v)
+                ));
+            }
+            out.push_str(&format!(
+                "{n}_sum{} {}\n",
+                prom_labels(&labels, None),
+                prom_f64(h.sum)
+            ));
+            out.push_str(&format!(
+                "{n}_count{} {}\n",
+                prom_labels(&labels, None),
+                h.count
+            ));
+        }
     }
     out
 }
@@ -413,11 +644,19 @@ mod tests {
         for v in [2.0, 20.0, 200.0] {
             crate::metrics::histogram_record("exec.select_cost", v);
         }
+        // Labeled twins of the same families must group under one header.
+        {
+            let _t = crate::metrics::scope("tenant with space");
+            crate::metrics::STATEMENTS_EXECUTED.add(2);
+            crate::metrics::histogram_record("exec.select_cost", 42.0);
+        }
         crate::disable();
 
         let text = render_prometheus(&crate::metrics::snapshot());
         let mut helped: BTreeSet<String> = BTreeSet::new();
         let mut typed: BTreeMap<String, String> = BTreeMap::new();
+        let mut last_family = String::new();
+        let mut closed_families: BTreeSet<String> = BTreeSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# HELP ") {
                 let (name, help) = rest.split_once(' ').expect("HELP carries text");
@@ -430,40 +669,143 @@ mod tests {
                     "unknown type {ty}"
                 );
                 assert!(helped.contains(name), "HELP must precede TYPE for {name}");
+                assert!(
+                    !closed_families.contains(name),
+                    "family {name} split across multiple headers"
+                );
                 typed.insert(name.to_string(), ty.to_string());
             } else {
-                let mut parts = line.split(' ');
-                let name_with_labels = parts.next().expect("sample name");
-                let value = parts.next().expect("sample value");
-                assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+                // Sample lines are `name{labels} value`; label values may
+                // contain spaces, the value never does.
+                let (name_with_labels, value) =
+                    line.rsplit_once(' ').expect("sample carries a value");
                 value.parse::<f64>().unwrap_or_else(|_| {
                     panic!("non-numeric sample value in {line:?}")
                 });
                 let name = name_with_labels.split('{').next().unwrap();
+                let family = name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|b| typed.get(*b).map(String::as_str) == Some("summary"))
+                    .unwrap_or(name)
+                    .to_string();
+                if family != last_family && !last_family.is_empty() {
+                    closed_families.insert(last_family.clone());
+                }
+                last_family = family;
                 assert!(name.starts_with("aim_"), "unprefixed name {name}");
                 assert!(
                     name.chars()
                         .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
                     "name {name} outside the Prometheus alphabet"
                 );
-                // Summary _sum/_count samples belong to their base family.
-                let base = name
-                    .strip_suffix("_sum")
-                    .or_else(|| name.strip_suffix("_count"))
-                    .filter(|b| typed.get(*b).map(String::as_str) == Some("summary"))
-                    .unwrap_or(name);
-                assert!(typed.contains_key(base), "TYPE must precede sample {name}");
-                assert!(helped.contains(base), "HELP must precede sample {name}");
+                assert!(
+                    typed.contains_key(&last_family),
+                    "TYPE must precede sample {name}"
+                );
+                assert!(
+                    helped.contains(&last_family),
+                    "HELP must precede sample {name}"
+                );
             }
         }
+        // The labeled twins landed inside their families with stable
+        // label order and escaped values.
+        assert!(text.contains("aim_exec_statements{tenant=\"tenant with space\"} 2"));
+        assert!(
+            text.contains("aim_exec_select_cost{tenant=\"tenant with space\",quantile=\"0.5\"}")
+        );
         // The new counters are part of the fixed taxonomy and always appear.
         for family in [
             "aim_timeseries_windows",
             "aim_trace_spans_stitched",
             "aim_telemetry_journal_dropped",
+            "aim_telemetry_series_dropped",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "{family}");
         }
+        crate::reset();
+    }
+
+    /// Satellite: hostile label values — backslashes, quotes and newlines —
+    /// must render escaped per exposition format 0.0.4 and still parse as
+    /// one sample per line.
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        let hostile = "a\\b\"c\nd";
+        crate::metrics::counter_add_labeled("hostile.hits", &[("tenant", hostile)], 7);
+        crate::disable();
+
+        let text = render_prometheus(&crate::metrics::snapshot());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("aim_hostile_hits{"))
+            .expect("labeled sample rendered");
+        assert_eq!(
+            line,
+            "aim_hostile_hits{tenant=\"a\\\\b\\\"c\\nd\"} 7",
+            "escaping mismatch"
+        );
+        // No raw newline survived into the sample (it would split the line).
+        assert_eq!(
+            text.lines().filter(|l| l.contains("hostile")).count(),
+            3, // HELP + TYPE + the one sample
+        );
+        crate::reset();
+    }
+
+    #[test]
+    fn fleet_and_alerts_routes_serve_live_rollups() {
+        let _g = crate::tests::lock();
+        crate::reset();
+        crate::enable();
+        for (tenant, shards, granted, used, cost) in [
+            ("t0", 3u64, 4096i64, 2048i64, 10.0),
+            ("t1", 1, 1024, 512, 500.0),
+        ] {
+            let _t = crate::metrics::scope(tenant);
+            crate::metrics::FLEET_SHARDS_TUNED.add(shards);
+            crate::metrics::gauge_set("fleet.budget_granted_bytes", granted);
+            crate::metrics::gauge_set("fleet.budget_used_bytes", used);
+            crate::metrics::histogram_record("fleet.tenant_duration", 5.0);
+            crate::metrics::histogram_record("exec.select_cost", cost);
+        }
+        crate::slo::register(crate::SloRule::new("lat", "exec.select_cost", 100.0).windows(1, 2));
+        crate::timeseries::tick("fleet_test");
+
+        let server = IntrospectionServer::start(0).expect("bind loopback");
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/fleet?sort=p99&top=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let doc = crate::jsonv::parse(&body).expect("fleet json parses");
+        let tenants = doc.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants.len(), 1, "top=1 truncates");
+        assert_eq!(tenants[0].get("tenant").unwrap().as_str(), Some("t1"));
+        assert_eq!(
+            tenants[0].get("budget_granted_bytes").unwrap().as_f64(),
+            Some(1024.0)
+        );
+        assert_eq!(tenants[0].get("shards_tuned").unwrap().as_f64(), Some(1.0));
+
+        let (head, body) = get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let doc = crate::jsonv::parse(&body).expect("alerts json parses");
+        let alerts = doc.get("alerts").unwrap().as_arr().unwrap();
+        assert!(alerts
+            .iter()
+            .any(|a| a.get("tenant").unwrap().as_str() == Some("t1")
+                && a.get("firing").unwrap().as_bool() == Some(true)));
+        assert!(alerts
+            .iter()
+            .any(|a| a.get("tenant").unwrap().as_str() == Some("t0")
+                && a.get("firing").unwrap().as_bool() == Some(false)));
+
+        server.shutdown();
+        crate::disable();
         crate::reset();
     }
 }

@@ -84,6 +84,33 @@ impl Window {
             .map(|(_, h)| h)
     }
 
+    /// Every labeled variant of histogram `base` that saw observations in
+    /// this window, as `(labels, stats)`; the unlabeled series appears
+    /// with an empty label list.
+    pub fn histogram_series(&self, base: &str) -> Vec<(Vec<(String, String)>, &WindowHistogram)> {
+        self.histograms
+            .iter()
+            .filter(|(n, _)| metrics::series_base(n) == base)
+            .map(|(n, h)| (metrics::parse_series(n).1, h))
+            .collect()
+    }
+
+    /// Per-tenant views of histogram `base`: the unlabeled (all-tenant)
+    /// series as `None` and each purely tenant-labeled series as
+    /// `Some(tenant)`. Series carrying extra labels (e.g. a `phase` from a
+    /// tuning worker) are deliberately excluded so live-traffic judgments
+    /// (sentinel, SLOs) are not polluted by tuning-internal replays.
+    pub fn tenant_histograms(&self, base: &str) -> Vec<(Option<String>, &WindowHistogram)> {
+        self.histogram_series(base)
+            .into_iter()
+            .filter_map(|(labels, h)| match labels.as_slice() {
+                [] => Some((None, h)),
+                [(k, v)] if k == "tenant" => Some((Some(v.clone()), h)),
+                _ => None,
+            })
+            .collect()
+    }
+
     fn json(&self, out: &mut String) {
         out.push_str(&format!(
             "{{\"index\":{},\"label\":\"{}\",\"duration_ms\":{:.3},\"counters\":{{",

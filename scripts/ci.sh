@@ -45,8 +45,11 @@ echo "== selection smoke (batched costing & LP-selection gate)"
 
 echo "== observe smoke (telemetry overhead gate)"
 # Times the same point-select loop with telemetry absent vs disarmed (every
-# hook invoked, all no-ops) vs armed+recording, interleaved with rotating
-# order; exits non-zero when the disarmed overhead exceeds the smoke bound.
+# hook invoked, all no-ops) vs armed+recording vs labeled (armed plus a
+# rotating 64-tenant scope so every instrument records a dimensional twin),
+# interleaved with rotating order. Exits non-zero when the disarmed overhead
+# or the labeled-over-armed overhead exceeds its smoke bound, or when the
+# artifact fails jsonv validation (labeled_overhead_pct must be numeric).
 ./target/release/bench_observe smoke
 
 echo "== fleet smoke (fleet-scale budget-allocation gate)"
